@@ -1,0 +1,87 @@
+"""Ablations of DMT's design choices (DESIGN.md §5).
+
+Not a paper figure — these sweeps probe the design parameters the paper
+fixes: 16 registers per set, the 2% clustering bubble threshold, and (a
+simulator parameter) the PTE share of the cache hierarchy.
+"""
+
+import pytest
+
+from repro.analysis.report import banner, format_table
+from repro.core.dmt_os import DMTLinux
+from repro.kernel.kernel import Kernel
+from repro.sim import NativeSimulation, SimConfig
+from repro.workloads import get
+
+MB = 1 << 20
+ABLATION_CFG = dict(scale=2048, nrefs=10000)
+
+
+def _fallback_rate(register_count: int) -> float:
+    cfg = SimConfig(register_count=register_count, **ABLATION_CFG)
+    sim = NativeSimulation("Memcached", cfg)
+    return sim.run("dmt").fallback_rate
+
+
+def test_register_count_sweep(benchmark):
+    """§2.3/§4.2: 16 registers cover 99+% after clustering; far fewer
+    registers leave translations to the x86 walker."""
+    rates = benchmark.pedantic(
+        lambda: {n: _fallback_rate(n) for n in (1, 2, 4, 16)},
+        rounds=1, iterations=1)
+    print(banner("Ablation: DMT register count vs fallback rate (Memcached)"))
+    print(format_table(["registers", "fallback rate"],
+                       [[n, f"{rate:.3%}"] for n, rate in rates.items()]))
+    assert rates[16] < 0.01, "16 registers must cover 99+% (§6.1)"
+    assert rates[1] >= rates[16]
+
+
+def _hot_cluster_count(threshold: float) -> int:
+    """Clusters carrying the slab working set (>= 1 MB of covered VMAs)."""
+    workload = get("Memcached", 2048)
+    kernel = Kernel(memory_bytes=workload.working_set_bytes() * 2 + 256 * MB)
+    dmt = DMTLinux(kernel, bubble_threshold=threshold)
+    proc = kernel.create_process()
+    workload.install(proc, populate=False)
+    clusters = dmt.manager_for(proc).clusters
+    # a slab is ~119 KB at this scale; count clusters that carry slabs
+    return sum(1 for c in clusters if c.covered_bytes >= 100 * 1024)
+
+
+def test_bubble_threshold_sweep(benchmark):
+    """§4.2.1: the 2% bubble allowance is what lets Memcached's 778 slab
+    VMAs collapse into two clusters."""
+    counts = benchmark.pedantic(
+        lambda: {t: _hot_cluster_count(t) for t in (0.0, 0.02, 0.10)},
+        rounds=1, iterations=1)
+    print(banner("Ablation: clustering bubble threshold (Memcached)"))
+    print(format_table(["threshold", "hot clusters (slab-bearing)"],
+                       [[f"{t:.0%}", c] for t, c in counts.items()]))
+    assert counts[0.02] <= 16, \
+        "the default 2% threshold must fit the register file"
+    assert counts[0.0] > counts[0.02] >= counts[0.10]
+
+
+def test_pte_cache_share_sensitivity(benchmark):
+    """Simulator ablation: DMT's edge grows as PTEs get harder to cache
+    (the paper's virtualized results are the extreme of this trend)."""
+    from dataclasses import replace
+    from repro.hw.config import xeon_gold_6138
+
+    def speedups():
+        out = {}
+        for share in (0.01, 0.04, 0.16):
+            machine = replace(xeon_gold_6138(), pte_cache_share=share)
+            cfg = SimConfig(machine=machine, **ABLATION_CFG)
+            sim = NativeSimulation("GUPS", cfg)
+            vanilla = sim.run("vanilla").mean_latency
+            dmt = sim.run("dmt").mean_latency
+            out[share] = vanilla / dmt
+        return out
+
+    result = benchmark.pedantic(speedups, rounds=1, iterations=1)
+    print(banner("Ablation: PTE cache share vs DMT native speedup (GUPS)"))
+    print(format_table(["PTE share of caches", "DMT walk speedup"],
+                       [[f"{s:.0%}", f"{v:.2f}x"] for s, v in result.items()]))
+    for speedup in result.values():
+        assert speedup > 1.0

@@ -1,0 +1,74 @@
+"""Figure 14: native speedups of FPT/ECPT/ASAP/DMT over vanilla Linux.
+
+Paper (geomeans): DMT speeds up page walks 1.28x (4 KB) / 1.46x (THP) and
+application execution ~1.05x; FPT/ECPT/ASAP land between vanilla and DMT.
+We regenerate both panels for both page-size modes; absolute numbers
+differ (simulation scale), the ordering and rough factors should hold.
+"""
+
+import pytest
+
+from repro.analysis.report import banner, format_table
+from repro.sim.perfmodel import model_from_stats
+from repro.sim.simulator import geomean
+
+from conftest import WORKLOADS, replay_slice
+
+DESIGNS = ["fpt", "ecpt", "asap", "dmt"]
+
+
+def run_native_panel(sim_cache, thp: bool):
+    results = {}
+    for workload in WORKLOADS:
+        sim = sim_cache.sim("native", workload, thp=thp)
+        stats = {d: sim.run(d) for d in ["vanilla"] + DESIGNS}
+        results[workload] = stats
+    sim_cache.results[f"fig14:{thp}"] = results
+    return results
+
+
+def _print_panel(results, thp: bool):
+    mode = "THP" if thp else "4KB"
+    print(banner(f"Figure 14 ({mode}): native page-walk and app speedups"))
+    rows = []
+    for workload, stats in results.items():
+        vanilla = stats["vanilla"]
+        row = [workload]
+        for design in DESIGNS:
+            pw = vanilla.mean_latency / stats[design].mean_latency
+            app = model_from_stats(workload, "native", vanilla,
+                                   stats[design], thp=thp).app_speedup
+            row.append(f"{pw:.2f}/{app:.2f}")
+        rows.append(row)
+    geo = ["Geo.Mean"]
+    for design in DESIGNS:
+        pws = [s["vanilla"].mean_latency / s[design].mean_latency
+               for s in results.values()]
+        apps = [model_from_stats(w, "native", s["vanilla"], s[design],
+                                 thp=thp).app_speedup
+                for w, s in results.items()]
+        geo.append(f"{geomean(pws):.2f}/{geomean(apps):.2f}")
+    rows.append(geo)
+    print(format_table(["Workload"] + [f"{d} pw/app" for d in DESIGNS], rows))
+
+
+@pytest.mark.parametrize("thp", [False, True], ids=["4KB", "THP"])
+def test_fig14_native_speedups(benchmark, sim_cache, thp):
+    results = run_native_panel(sim_cache, thp)
+    _print_panel(results, thp)
+    # the benchmarked hot path: replaying walks through the DMT design
+    sim = sim_cache.sim("native", WORKLOADS[0], thp=thp)
+    benchmark.pedantic(lambda: replay_slice(sim, "dmt"), rounds=1, iterations=1)
+
+    # shape assertions (who wins)
+    pw_geo = {}
+    for design in DESIGNS:
+        pw_geo[design] = geomean([
+            s["vanilla"].mean_latency / s[design].mean_latency
+            for s in results.values()
+        ])
+    assert pw_geo["dmt"] > 1.0, "DMT must beat vanilla natively (Fig. 14)"
+    assert pw_geo["dmt"] >= pw_geo["fpt"] * 0.98, \
+        "DMT >= FPT on page walks (Table 5)"
+    assert pw_geo["dmt"] >= pw_geo["ecpt"] * 0.95, \
+        "DMT ~ ECPT natively (Table 5: 1.03x)"

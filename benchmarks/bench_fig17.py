@@ -1,0 +1,63 @@
+"""Figure 17: nested virtualization — pvDMT vs vanilla nested KVM.
+
+Paper: pvDMT's page walk is only slightly faster than the baseline for
+4 KB pages (1.02x geomean — the baseline's shadow table keeps its walk at
+2D cost, while pvDMT takes three genuine memory references), but because
+pvDMT eliminates shadow paging's VM exits, application execution speeds
+up 1.48x (4 KB) / 1.34x (THP); walk speedup with THP is 1.11x.
+"""
+
+import pytest
+
+from repro.analysis.report import banner, format_table
+from repro.sim.perfmodel import model_from_stats
+from repro.sim.simulator import geomean
+
+from conftest import WORKLOADS, replay_slice
+
+
+def run_nested_panel(sim_cache, thp: bool):
+    results = {}
+    for workload in WORKLOADS:
+        sim = sim_cache.sim("nested", workload, thp=thp)
+        results[workload] = {
+            "vanilla": sim.run("vanilla"),
+            "pvdmt": sim.run("pvdmt"),
+        }
+    sim_cache.results[f"fig17:{thp}"] = results
+    return results
+
+
+@pytest.mark.parametrize("thp", [False, True], ids=["4KB", "THP"])
+def test_fig17_nested_virtualization(benchmark, sim_cache, thp):
+    results = run_nested_panel(sim_cache, thp)
+    sim = sim_cache.sim("nested", WORKLOADS[0], thp=thp)
+    benchmark.pedantic(lambda: replay_slice(sim, "pvdmt", count=800),
+                       rounds=1, iterations=1)
+
+    mode = "THP" if thp else "4KB"
+    print(banner(f"Figure 17 ({mode}): nested virtualization speedups"))
+    rows = []
+    pw_speedups, app_speedups = [], []
+    for workload, stats in results.items():
+        pw = stats["vanilla"].mean_latency / stats["pvdmt"].mean_latency
+        # pvDMT is hardware-assisted: the baseline's shadow-paging exit
+        # overhead disappears (retained_other_fraction=0, §5)
+        app = model_from_stats(workload, "nested", stats["vanilla"],
+                               stats["pvdmt"], thp=thp,
+                               retained_other_fraction=0.0).app_speedup
+        pw_speedups.append(pw)
+        app_speedups.append(app)
+        rows.append([workload, pw, app])
+    rows.append(["Geo.Mean", geomean(pw_speedups), geomean(app_speedups)])
+    print(format_table(["Workload", "PW speedup", "App speedup"], rows))
+
+    # Shape: substantial app speedup from removing the shadow-paging exits.
+    assert geomean(app_speedups) > 1.2, \
+        "removing shadow paging must yield a substantial app speedup"
+    assert geomean(pw_speedups) > 0.75, \
+        "pvDMT's 3-reference walk stays competitive with the shadow walk"
+    if not thp and geomean(pw_speedups) < 2.0:
+        # the paper's regime: near-parity walks (1.02x), so the end-to-end
+        # win must come from the eliminated exits
+        assert geomean(app_speedups) > geomean(pw_speedups) * 0.9

@@ -1,0 +1,139 @@
+"""§6.3: DMT's runtime overheads.
+
+Paper measurements reproduced here:
+
+* OS management time on a deliberately fragmented machine (FMFI ~0.99):
+  Redis adds ~12 ms / ~120 ms / ~598 ms in native / virtualized / nested
+  environments — negligible against thousands of seconds of runtime;
+* ``KVM_HC_ALLOC_TEA``: 1.88 us (single-level) / 10.75 us (nested) bare
+  hypercall; TEA allocation 13.27 / 23.73 / 48.07 ms for 50/100/200 MB;
+* page-table memory: 247.2 MB (DMT, eager TEAs) vs 241.3 MB (vanilla) —
+  <2.5% extra;
+* hardware cost (CACTI, 22 nm): 4.87 mW leakage, 0.03 mm^2 per MMU.
+"""
+
+import pytest
+
+from repro.analysis.cacti import dmt_register_cost
+from repro.analysis.report import banner, format_table
+from repro.core.costs import Environment
+from repro.core.dmt_os import DMTLinux
+from repro.kernel.kernel import Kernel
+from repro.mem.fragmentation import fragment
+from repro.virt.hypercall import hypercall_latency_us, tea_alloc_latency_ms
+from repro.workloads import get
+
+from conftest import SCALE
+
+MB = 1 << 20
+# The TEA granule (2 MB of VA per TEA page) cannot scale down with the
+# working set, so the *relative* eager-allocation waste grows at extreme
+# scales; pin the memory-overhead comparison to <=512 (the default).
+MEM_SCALE = min(SCALE, 512)
+
+
+def _management_ms(environment: Environment) -> float:
+    """Install the Redis layout on a fragmented machine under DMT-Linux."""
+    workload = get("Redis", SCALE)
+    kernel = Kernel(memory_bytes=workload.working_set_bytes() * 2 + 512 * MB)
+    # §6.3: fragment free memory to FMFI ~0.99 first
+    achieved = fragment(kernel.memory.allocator, target_index=0.99,
+                        fill_fraction=0.55)
+    dmt = DMTLinux(kernel, environment=environment)
+    proc = kernel.create_process()
+    workload.install(proc, populate=True)
+    dmt.reload_registers(proc)
+    return dmt.management_ms(), achieved, dmt.manager_for(proc)
+
+
+def test_management_overhead_under_fragmentation(benchmark):
+    native_ms, fmfi, manager = benchmark.pedantic(
+        lambda: _management_ms(Environment.NATIVE), rounds=1, iterations=1)
+    virt_ms, _, _ = _management_ms(Environment.VIRTUALIZED)
+    nested_ms, _, _ = _management_ms(Environment.NESTED)
+
+    print(banner("§6.3: DMT management time, fragmented memory (Redis)"))
+    print(format_table(
+        ["Environment", "measured (ms)", "paper (ms)"],
+        [["native", native_ms, 12.0],
+         ["virtualized", virt_ms, 120.0],
+         ["nested", nested_ms, 598.0]],
+    ))
+    print(f"achieved FMFI: {fmfi:.3f}; TEA splits: {manager.tea_manager.splits}")
+
+    assert fmfi >= 0.99
+    # management cost scales with virtualization depth as in the paper
+    assert virt_ms == pytest.approx(native_ms * 10, rel=0.01)
+    assert nested_ms == pytest.approx(native_ms * 50, rel=0.01)
+    # and stays negligible against thousands-of-seconds runtimes
+    assert nested_ms < 5000
+
+
+def test_hypercall_and_tea_allocation_latency(benchmark):
+    rows = benchmark.pedantic(lambda: [
+        ["hypercall (us)", hypercall_latency_us(), 1.88],
+        ["hypercall nested (us)", hypercall_latency_us(nested=True), 10.75],
+        ["TEA 50 MB (ms)", tea_alloc_latency_ms(50 * MB), 13.27],
+        ["TEA 100 MB (ms)", tea_alloc_latency_ms(100 * MB), 23.73],
+        ["TEA 200 MB (ms)", tea_alloc_latency_ms(200 * MB), 48.07],
+        ["TEA 50 MB nested (ms)", tea_alloc_latency_ms(50 * MB, nested=True), 15.67],
+        ["TEA 100 MB nested (ms)", tea_alloc_latency_ms(100 * MB, nested=True), 24.55],
+        ["TEA 200 MB nested (ms)", tea_alloc_latency_ms(200 * MB, nested=True), 54.87],
+    ], rounds=1, iterations=1)
+    print(banner("§6.3: hypercall and TEA-allocation latency"))
+    print(format_table(["Operation", "model", "paper"], rows))
+    for _, model, paper in rows:
+        assert model == pytest.approx(paper, rel=0.20)
+
+
+def _page_table_memory():
+    workload = get("Redis", MEM_SCALE)
+    mem = workload.working_set_bytes() * 2 + 512 * MB
+
+    vanilla_kernel = Kernel(memory_bytes=mem)
+    vproc = vanilla_kernel.create_process()
+    workload.install(vproc, populate=True)
+    vanilla_bytes = vproc.page_table_bytes()
+
+    dmt_kernel = Kernel(memory_bytes=mem)
+    dmt = DMTLinux(dmt_kernel)
+    dproc = dmt_kernel.create_process()
+    workload.install(dproc, populate=True)
+    manager = dmt.manager_for(dproc)
+    # DMT's eager footprint = non-TEA table pages (root + upper levels +
+    # fallback leaves) + the full eagerly allocated TEAs.
+    policy = dproc.page_table.placement
+    tea_bytes = manager.tea_manager.total_tea_bytes()
+    non_tea_tables = (dproc.page_table.table_pages - policy.placed) * 4096
+    dmt_bytes = non_tea_tables + tea_bytes
+    return vanilla_bytes, dmt_bytes
+
+
+def test_page_table_memory_overhead(benchmark):
+    vanilla_bytes, dmt_bytes = benchmark.pedantic(
+        _page_table_memory, rounds=1, iterations=1)
+    overhead = dmt_bytes / vanilla_bytes - 1.0
+    print(banner("§6.3: page-table memory, DMT vs vanilla (Redis)"))
+    print(format_table(
+        ["System", "page-table KiB"],
+        [["vanilla Linux", vanilla_bytes // 1024],
+         ["DMT-Linux (eager TEAs)", dmt_bytes // 1024],
+         ["overhead", f"{overhead:+.1%} (paper: +2.4%)"]],
+    ))
+    # The paper reports +2.4%; at 1/512 scale the fixed 2 MB TEA granule
+    # is relatively larger against the shrunken VMAs, inflating the ratio.
+    assert overhead < 0.20, "eager TEA allocation must stay a small fraction (§6.3)"
+
+
+def test_hardware_cost(benchmark):
+    cost = benchmark.pedantic(dmt_register_cost, rounds=1, iterations=1)
+    print(banner("§6.3: DMT hardware cost (CACTI-class model, 22 nm)"))
+    print(format_table(
+        ["Metric", "model", "paper"],
+        [["leakage (mW)", cost.leakage_mw, 4.87],
+         ["area (mm^2)", cost.area_mm2, 0.03],
+         ["fraction of 125 W TDP", f"{cost.tdp_fraction:.2e}", "marginal"],
+         ["fraction of 694 mm^2 die", f"{cost.die_fraction:.2e}", "marginal"]],
+    ))
+    assert cost.leakage_mw == pytest.approx(4.87, rel=0.01)
+    assert cost.area_mm2 == pytest.approx(0.03, rel=0.01)

@@ -1,0 +1,80 @@
+"""Table 6: sequential memory accesses per design per environment.
+
+Paper: pvDMT 1/2/3 (native/virt/nested), ECPT 1/3, FPT 2/8, Agile 4-24,
+ASAP 4/24, vanilla radix 4/24. Measured here by running each walker with
+cold MMU caches and counting serialized references (parallel probe groups
+count once).
+"""
+
+from repro.analysis.report import banner, format_table
+
+from conftest import WORKLOADS
+
+
+def _cold_sequential_steps(sim, design: str) -> int:
+    """Sequential steps of the first cold walk through a fresh walker."""
+    walker = sim.walker(design)
+    va = sim.tlb.miss_vas[0]
+    result = walker.translate(va)
+    return result.sequential_steps
+
+
+def test_table6_sequential_accesses(benchmark, sim_cache):
+    workload = WORKLOADS[0]
+    native = sim_cache.sim("native", workload, record_refs=True)
+    virt = sim_cache.sim("virt", workload, record_refs=True)
+    nested = sim_cache.sim("nested", workload, record_refs=True)
+
+    def measure():
+        return {
+            "vanilla": (_cold_sequential_steps(native, "vanilla"),
+                        _cold_sequential_steps(virt, "vanilla"), None),
+            "dmt": (_cold_sequential_steps(native, "dmt"),
+                    _cold_sequential_steps(virt, "dmt"), None),
+            "pvdmt": (None, _cold_sequential_steps(virt, "pvdmt"),
+                      _cold_sequential_steps(nested, "pvdmt")),
+            "ecpt": (_cold_sequential_steps(native, "ecpt"),
+                     _cold_sequential_steps(virt, "ecpt"), None),
+            "fpt": (_cold_sequential_steps(native, "fpt"),
+                    _cold_sequential_steps(virt, "fpt"), None),
+            "agile": (None, _cold_sequential_steps(virt, "agile"), None),
+            "asap": (_cold_sequential_steps(native, "asap"),
+                     _cold_sequential_steps(virt, "asap"), None),
+        }
+
+    steps = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    paper = {
+        "vanilla": (4, 24, None),
+        "dmt": (1, 3, None),
+        "pvdmt": (None, 2, 3),
+        "ecpt": (1, 3, None),
+        "fpt": (2, 8, None),
+        "agile": (None, (4, 24), None),
+        "asap": (4, 24, None),
+    }
+    print(banner("Table 6: sequential memory accesses (cold caches)"))
+    rows = [
+        [design,
+         str(values[0]) if values[0] is not None else "-",
+         str(values[1]) if values[1] is not None else "-",
+         str(values[2]) if values[2] is not None else "-",
+         str(paper[design])]
+        for design, values in steps.items()
+    ]
+    print(format_table(["Design", "Native", "Virtualized", "Nested", "paper"],
+                       rows))
+
+    assert steps["vanilla"][0] == 4
+    assert steps["vanilla"][1] == 24
+    assert steps["dmt"][0] == 1, "DMT native: one reference (§3)"
+    assert steps["dmt"][1] == 3, "DMT virtualized: three references (§3.1)"
+    assert steps["pvdmt"][1] == 2, "pvDMT virtualized: two references (§3.1)"
+    assert steps["pvdmt"][2] == 3, "pvDMT nested: three references (§3.2)"
+    assert steps["ecpt"][0] == 1
+    assert steps["ecpt"][1] == 3
+    assert steps["fpt"][0] == 2
+    assert steps["fpt"][1] == 8
+    assert 4 <= steps["agile"][1] <= 24
+    assert steps["asap"][0] == 4
+    assert steps["asap"][1] == 24

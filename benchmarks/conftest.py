@@ -1,0 +1,80 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper. The
+expensive simulation machines are built once per (environment, workload,
+page-size mode) and shared across benches through the session-scoped
+``sim_cache``; the pytest-benchmark timings cover walk replay, the
+simulator's hot path.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``   — working-set divisor (default 512);
+* ``REPRO_BENCH_NREFS``   — trace length (default 30000);
+* ``REPRO_BENCH_WORKLOADS`` — comma-separated subset (default: all seven).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.sim import (
+    NativeSimulation,
+    NestedSimulation,
+    SimConfig,
+    VirtSimulation,
+)
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "512"))
+NREFS = int(os.environ.get("REPRO_BENCH_NREFS", "30000"))
+
+ALL_WORKLOADS = ["Redis", "Memcached", "GUPS", "BTree", "Canneal",
+                 "XSBench", "Graph500"]
+_env_workloads = os.environ.get("REPRO_BENCH_WORKLOADS", "").strip()
+WORKLOADS: List[str] = (
+    [w for w in _env_workloads.split(",") if w] if _env_workloads
+    else ALL_WORKLOADS
+)
+
+_ENVS = {
+    "native": NativeSimulation,
+    "virt": VirtSimulation,
+    "nested": NestedSimulation,
+}
+
+
+def bench_config(thp: bool = False, record_refs: bool = False) -> SimConfig:
+    return SimConfig(scale=SCALE, nrefs=NREFS, thp=thp,
+                     record_refs=record_refs)
+
+
+class SimCache:
+    """Session-wide store of built simulation machines and run results."""
+
+    def __init__(self):
+        self._sims: Dict[Tuple, object] = {}
+        #: cross-bench numeric results (e.g. Table 5 reuses Fig. 14/15 data)
+        self.results: Dict[str, object] = {}
+
+    def sim(self, env: str, workload: str, thp: bool = False,
+            record_refs: bool = False):
+        key = (env, workload, thp, record_refs)
+        if key not in self._sims:
+            cfg = bench_config(thp=thp, record_refs=record_refs)
+            self._sims[key] = _ENVS[env](workload, cfg)
+        return self._sims[key]
+
+
+@pytest.fixture(scope="session")
+def sim_cache():
+    return SimCache()
+
+
+def replay_slice(sim, design: str, count: int = 1500):
+    """The benchmarked hot path: replay a slice of the miss stream."""
+    from repro.sim.simulator import replay_walks
+
+    walker = sim.walker(design)
+    return replay_walks(walker, sim.tlb.miss_vas[:count], warmup_fraction=0.0)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: DMT in a native machine, in ~60 lines.
+
+Builds a kernel with DMT-Linux attached, maps and populates a heap,
+and shows the paper's central mechanism end-to-end:
+
+1. the VMA-to-TEA mapping created at ``mmap`` time;
+2. the 16 DMT registers loaded from it (Figure 13);
+3. a one-memory-reference translation by the DMT fetcher (Figure 7)
+   that lands on the *same* PTE bytes the x86 radix walker reads;
+4. the latency comparison through the simulated cache hierarchy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import DMTFetcher, DMTLinux
+from repro.hw import xeon_gold_6138
+from repro.kernel import Kernel
+from repro.translation import DMTNativeWalker, MemorySubsystem, NativeRadixWalker
+
+MB = 1 << 20
+
+
+def main() -> None:
+    # --- OS side: a kernel with DMT-Linux compiled in -------------------
+    kernel = Kernel(memory_bytes=256 * MB)
+    dmt = DMTLinux(kernel)
+
+    process = kernel.create_process("quickstart")
+    heap = process.mmap(32 * MB, name="heap")   # triggers TEA creation
+    process.populate(heap)                      # leaf PTEs land in the TEA
+
+    registers = dmt.reload_registers(process)
+    print(f"{len(registers)} DMT register(s) loaded:")
+    for reg in registers:
+        print(f"  VMA {reg.vma_base:#x} (+{reg.vma_size_pages} pages)"
+              f" -> TEA frame {reg.tea_base_pfn:#x} [{reg.page_size.name}]")
+
+    # --- hardware side: one reference per translation --------------------
+    va = heap.start + 5 * MB + 0x123
+    fetcher = DMTFetcher(dmt.register_file)
+    fetched = []
+    result = fetcher.translate_native(
+        va, kernel.memory.read_word,
+        lambda addr, tag, group: fetched.append(addr))
+    radix_pa, _ = process.page_table.translate(va)
+
+    print(f"\ntranslate({va:#x}):")
+    print(f"  DMT fetcher : PA {result.pa:#x} in {result.references} memory reference")
+    print(f"  radix walker: PA {radix_pa:#x} in 4 memory references")
+    assert result.pa == radix_pa
+
+    leaf_addr = process.page_table.leaf_pte_addr(va)[0]
+    print(f"  both read the identical PTE at {leaf_addr:#x} "
+          f"(DMT keeps a single copy, §3) -> {fetched[0] == leaf_addr}")
+
+    # --- latency through the simulated memory hierarchy ------------------
+    machine = xeon_gold_6138()
+    radix = NativeRadixWalker(process.page_table, MemorySubsystem(machine))
+    direct = DMTNativeWalker(dmt.register_file, radix,
+                             MemorySubsystem(machine),
+                             kernel.memory.read_word)
+    for walker, label in ((radix, "x86 radix walk"), (direct, "DMT fetch")):
+        cold = walker.translate(va).cycles
+        warm = walker.translate(va).cycles
+        print(f"  {label:15s}: cold {cold:4d} cycles, warm {warm:4d} cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim: lets `pip install -e .` work offline (no `wheel` package).
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

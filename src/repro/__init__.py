@@ -1,0 +1,29 @@
+"""repro — a reproduction of "Direct Memory Translation for Virtualized
+Clouds" (Zhang et al., ASPLOS 2024).
+
+The package implements DMT/pvDMT and every substrate its evaluation
+depends on: an x86-64 virtual-memory model (buddy allocator, VMAs, radix
+page tables, THP), a KVM-style hypervisor with nested paging, shadow
+paging and nested virtualization, the MMU-side hardware (TLBs, caches,
+page-walk caches), four comparison translation designs (ECPT, FPT, Agile
+Paging, ASAP), synthetic versions of the seven evaluation workloads, and
+a trace-driven simulator with the paper's §5 performance model.
+
+Quick start::
+
+    from repro.sim import NativeSimulation, SimConfig
+
+    sim = NativeSimulation("GUPS", SimConfig(scale=1024, nrefs=20_000))
+    vanilla = sim.run("vanilla")
+    dmt = sim.run("dmt")
+    print(f"page-walk speedup: {vanilla.mean_latency / dmt.mean_latency:.2f}x")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.arch import PageSize
+
+__all__ = ["PageSize", "__version__"]

@@ -1,0 +1,125 @@
+"""Command-line interface: run one simulation or reproduce one figure.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --workload GUPS --env virt --designs vanilla,pvdmt
+    python -m repro run --workload Redis --env native --thp --nrefs 40000
+    python -m repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.analysis.vma_stats import vma_stats
+from repro.sim import ENVIRONMENTS, SimConfig
+from repro.sim.perfmodel import model_from_stats
+from repro.workloads import catalogue
+
+_ENV_TO_CALIBRATION = {"native": "native", "virt": "virt_npt",
+                       "nested": "nested"}
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name, workload in catalogue(args.scale).items():
+        rows.append([name, workload.working_set_bytes() >> 20,
+                     workload.paper_working_set_gb, workload.description])
+    print(format_table(
+        ["Workload", "ws (MiB)", "paper ws (GB)", "description"], rows,
+        title=f"Workloads at scale 1/{args.scale}",
+    ))
+    print("\nEnvironments:", ", ".join(sorted(ENVIRONMENTS)))
+    for env, cls in sorted(ENVIRONMENTS.items()):
+        print(f"  {env:7s} designs: {', '.join(cls.designs)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    env_cls = ENVIRONMENTS[args.env]
+    config = SimConfig(scale=args.scale, nrefs=args.nrefs, seed=args.seed,
+                       thp=args.thp)
+    print(f"building {args.env} machine for {args.workload} "
+          f"(scale 1/{args.scale}, {args.nrefs} refs, "
+          f"{'THP' if args.thp else '4KB'}) ...")
+    sim = env_cls(args.workload, config)
+    print(f"TLB miss rate {sim.tlb.miss_rate:.1%} "
+          f"({sim.tlb.miss_count} walks)\n")
+
+    designs = args.designs.split(",") if args.designs else list(env_cls.designs)
+    unknown = set(designs) - set(env_cls.designs)
+    if unknown:
+        print(f"unknown design(s) for {args.env}: {sorted(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    stats = {design: sim.run(design) for design in designs}
+    vanilla = stats.get("vanilla") or sim.run("vanilla")
+    rows = []
+    for design, st in stats.items():
+        row = [design, st.mean_latency,
+               vanilla.mean_latency / st.mean_latency if st.mean_latency else 0,
+               f"{st.fallback_rate:.2%}"]
+        try:
+            model = model_from_stats(args.workload,
+                                     _ENV_TO_CALIBRATION[args.env],
+                                     vanilla, st, thp=args.thp)
+            row.append(model.app_speedup)
+        except KeyError:
+            row.append("-")
+        rows.append(row)
+    print(format_table(
+        ["design", "cycles/walk", "walk speedup", "fallback", "app speedup"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = []
+    for name, workload in catalogue(min(args.scale, 1024)).items():
+        layout = [(s, e) for s, e, _ in workload.layout()]
+        stats = vma_stats(layout)
+        rows.append([name, stats.total, stats.cov99, stats.clusters])
+    print(format_table(["Workload", "Total", "99% Cov.", "Clusters"], rows,
+                       title="Table 1: VMA characteristics"))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Direct Memory Translation for "
+                    "Virtualized Clouds' (ASPLOS 2024)",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scale", type=int, default=1024,
+                        help="working-set divisor vs the paper (default 1024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", parents=[common],
+                   help="list workloads, environments, designs")
+    sub.add_parser("table1", parents=[common],
+                   help="print the Table 1 reproduction")
+
+    run = sub.add_parser("run", parents=[common],
+                         help="simulate one workload/environment")
+    run.add_argument("--workload", default="GUPS")
+    run.add_argument("--env", choices=sorted(ENVIRONMENTS), default="native")
+    run.add_argument("--designs", default="",
+                     help="comma-separated subset (default: all)")
+    run.add_argument("--nrefs", type=int, default=20_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--thp", action="store_true",
+                     help="transparent huge pages in every layer")
+
+    args = parser.parse_args(argv)
+    handler = {"list": _cmd_list, "run": _cmd_run, "table1": _cmd_table1}
+    return handler[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Analysis helpers: VMA statistics, hardware cost model, report rendering."""
+
+from repro.analysis.cacti import HardwareCost, dmt_register_cost
+from repro.analysis.export import read_csv, speedup_rows, write_csv, write_json
+from repro.analysis.report import banner, format_cdf, format_series, format_table
+from repro.analysis.vma_stats import (
+    VMAStats,
+    cdf,
+    cluster_adjacent,
+    cluster_count,
+    coverage_count,
+    total_mapped,
+    vma_stats,
+)
+
+__all__ = [
+    "HardwareCost",
+    "dmt_register_cost",
+    "read_csv",
+    "speedup_rows",
+    "write_csv",
+    "write_json",
+    "banner",
+    "format_cdf",
+    "format_series",
+    "format_table",
+    "VMAStats",
+    "cdf",
+    "cluster_adjacent",
+    "cluster_count",
+    "coverage_count",
+    "total_mapped",
+    "vma_stats",
+]

@@ -1,0 +1,57 @@
+"""CSV/JSON export of experiment results.
+
+The benchmark harness prints the paper's tables as text; downstream
+plotting (regenerating the actual figures) wants machine-readable data.
+These helpers write rows produced by the benches to CSV or JSON without
+any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def write_csv(path: PathLike, headers: Sequence[str],
+              rows: Iterable[Sequence[object]]) -> Path:
+    """Write one table; returns the resolved path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return target
+
+
+def read_csv(path: PathLike) -> List[Dict[str, str]]:
+    with Path(path).open() as handle:
+        return list(csv.DictReader(handle))
+
+
+def write_json(path: PathLike, data: object) -> Path:
+    """Write a result object (dict of series, nested dicts, ...)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(data, indent=1, sort_keys=True))
+    return target
+
+
+def speedup_rows(results: Dict[str, Dict[str, float]],
+                 baseline: str = "vanilla") -> List[List[object]]:
+    """Turn {workload: {design: latency}} into speedup-over-baseline rows."""
+    rows: List[List[object]] = []
+    for workload, per_design in results.items():
+        base = per_design.get(baseline)
+        if not base:
+            continue
+        for design, latency in per_design.items():
+            if design == baseline or not latency:
+                continue
+            rows.append([workload, design, base / latency])
+    return rows

@@ -1,0 +1,66 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The benchmark harness prints every reproduced table/figure through these
+helpers so ``pytest benchmarks/`` output can be compared line-by-line
+against the paper (EXPERIMENTS.md records the correspondence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Fixed-width ASCII table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append([
+            float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Dict[str, float],
+    unit: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """One figure series as 'name: key=value key=value ...'."""
+    body = "  ".join(
+        f"{key}={float_fmt.format(value)}{unit}" for key, value in points.items()
+    )
+    return f"{name}: {body}"
+
+
+def format_cdf(name: str, cdf_points: Sequence[tuple], quantiles=(0.25, 0.5, 0.75, 0.9, 1.0)) -> str:
+    """Summarize a CDF by its quantiles (Figure 5 rendering)."""
+    if not cdf_points:
+        return f"{name}: (empty)"
+    parts = []
+    for q in quantiles:
+        value = next(v for v, frac in cdf_points if frac >= q)
+        parts.append(f"p{int(q * 100)}={value}")
+    return f"{name}: " + "  ".join(parts)
+
+
+def banner(text: str) -> str:
+    line = "=" * max(60, len(text) + 4)
+    return f"\n{line}\n  {text}\n{line}"

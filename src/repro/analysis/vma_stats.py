@@ -1,0 +1,93 @@
+"""VMA-characteristic analysis (Table 1 and Figure 5).
+
+Three statistics per workload layout:
+
+* **Total** — number of VMAs;
+* **99% Cov.** — how many VMAs (largest first) cover 99% of mapped memory;
+* **Clusters** — how many clusters of adjacent VMAs (merging neighbours
+  while total bubbles stay below a 2% allowance) cover 99% of memory.
+
+These are computed by the same clustering rule DMT-Linux uses at runtime
+(§4.2.1), so Table 1 doubles as a validation of the mapping manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+Layout = Sequence[Tuple[int, int]]  # (start, end) per VMA, any order
+
+
+@dataclass(frozen=True)
+class VMAStats:
+    total: int
+    cov99: int
+    clusters: int
+
+
+def total_mapped(layout: Layout) -> int:
+    return sum(end - start for start, end in layout)
+
+
+def coverage_count(layout: Layout, fraction: float = 0.99) -> int:
+    """VMAs needed (largest first) to cover ``fraction`` of mapped bytes."""
+    sizes = sorted((end - start for start, end in layout), reverse=True)
+    target = fraction * sum(sizes)
+    covered = 0
+    for count, size in enumerate(sizes, start=1):
+        covered += size
+        if covered >= target:
+            return count
+    return len(sizes)
+
+
+def cluster_adjacent(layout: Layout, bubble_allowance: float = 0.02) -> List[Tuple[int, int, int]]:
+    """Greedily cluster address-adjacent VMAs.
+
+    A neighbour joins the current cluster if the cluster's total bubble
+    ratio (gaps / span) stays within ``bubble_allowance``. Returns
+    (start, end, covered_bytes) per cluster.
+    """
+    ordered = sorted(layout)
+    clusters: List[List[int]] = []
+    for start, end in ordered:
+        if clusters:
+            c_start, c_end, c_cov = clusters[-1]
+            new_span = end - c_start
+            new_cov = c_cov + (end - start)
+            if new_span > 0 and 1.0 - new_cov / new_span <= bubble_allowance:
+                clusters[-1] = [c_start, end, new_cov]
+                continue
+        clusters.append([start, end, end - start])
+    return [tuple(c) for c in clusters]
+
+
+def cluster_count(layout: Layout, fraction: float = 0.99,
+                  bubble_allowance: float = 0.02) -> int:
+    """Clusters (largest first) needed to cover ``fraction`` of memory."""
+    clusters = cluster_adjacent(layout, bubble_allowance)
+    covered_sizes = sorted((cov for _, _, cov in clusters), reverse=True)
+    target = fraction * total_mapped(layout)
+    covered = 0
+    for count, size in enumerate(covered_sizes, start=1):
+        covered += size
+        if covered >= target:
+            return count
+    return len(covered_sizes)
+
+
+def vma_stats(layout: Layout, fraction: float = 0.99,
+              bubble_allowance: float = 0.02) -> VMAStats:
+    return VMAStats(
+        total=len(layout),
+        cov99=coverage_count(layout, fraction),
+        clusters=cluster_count(layout, fraction, bubble_allowance),
+    )
+
+
+def cdf(values: Iterable[int]) -> List[Tuple[int, float]]:
+    """(value, cumulative fraction) pairs for Figure 5-style CDF plots."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]

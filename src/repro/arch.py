@@ -1,0 +1,111 @@
+"""x86-64 address-space constants and helpers.
+
+This module centralizes the architectural facts the rest of the library
+relies on: 4 KB base pages, 2 MB / 1 GB huge pages, 8-byte PTEs, 512-entry
+page-table nodes, and 4- or 5-level radix trees (the paper evaluates 4-level
+trees and discusses the 5-level extension in §2.1.1).
+
+Addresses are plain Python integers. "VPN" always means the 4 KB-granule
+virtual page number (``va >> 12``) unless a page size is given explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+PTE_SIZE = 8
+ENTRIES_PER_TABLE = 512
+TABLE_INDEX_BITS = 9
+
+#: Virtual-address bits translated by a 4-level tree (9*4 + 12).
+VA_BITS_4LEVEL = 48
+#: Virtual-address bits translated by a 5-level tree (9*5 + 12).
+VA_BITS_5LEVEL = 57
+
+
+class PageSize(enum.IntEnum):
+    """Supported x86-64 page sizes.
+
+    The integer value is the page-size shift, so ``1 << size`` is the page
+    size in bytes. The enum also matches the 2-bit ``SZ`` field of a DMT
+    register (Figure 13): 4 KB = 0, 2 MB = 1, 1 GB = 2 when encoded via
+    :meth:`sz_field`.
+    """
+
+    SIZE_4K = 12
+    SIZE_2M = 21
+    SIZE_1G = 30
+
+    @property
+    def bytes(self) -> int:
+        return 1 << int(self)
+
+    @property
+    def leaf_level(self) -> int:
+        """Radix level whose entry is the leaf PTE for this page size.
+
+        Level 1 is the last level of the tree (L1 in Figure 1); 2 MB pages
+        terminate at L2 and 1 GB pages at L3.
+        """
+        return {12: 1, 21: 2, 30: 3}[int(self)]
+
+    def sz_field(self) -> int:
+        """Encode as the 2-bit SZ register field."""
+        return {12: 0, 21: 1, 30: 2}[int(self)]
+
+    @classmethod
+    def from_sz_field(cls, sz: int) -> "PageSize":
+        return {0: cls.SIZE_4K, 1: cls.SIZE_2M, 2: cls.SIZE_1G}[sz]
+
+
+def level_shift(level: int) -> int:
+    """Bit position where a radix level's index field starts.
+
+    Level 1 indexes VA[20:12], level 2 VA[29:21], level 3 VA[38:30],
+    level 4 VA[47:39], level 5 VA[56:48] (Figure 1).
+    """
+    if level < 1:
+        raise ValueError(f"radix levels are 1-based, got {level}")
+    return PAGE_SHIFT + TABLE_INDEX_BITS * (level - 1)
+
+
+def level_index(va: int, level: int) -> int:
+    """Index into the page-table node at ``level`` for virtual address ``va``."""
+    return (va >> level_shift(level)) & (ENTRIES_PER_TABLE - 1)
+
+
+def vpn_of(va: int, page_size: PageSize = PageSize.SIZE_4K) -> int:
+    return va >> int(page_size)
+
+
+def page_base(va: int, page_size: PageSize = PageSize.SIZE_4K) -> int:
+    return va & ~(page_size.bytes - 1)
+
+
+def page_offset(va: int, page_size: PageSize = PageSize.SIZE_4K) -> int:
+    return va & (page_size.bytes - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(value: int, alignment: int) -> int:
+    return value & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    return (value & (alignment - 1)) == 0
+
+
+def pages_in(nbytes: int, page_size: PageSize = PageSize.SIZE_4K) -> int:
+    """Number of pages of ``page_size`` needed to cover ``nbytes``."""
+    return (nbytes + page_size.bytes - 1) >> int(page_size)
+
+
+def canonicalize(va: int, va_bits: int = VA_BITS_4LEVEL) -> int:
+    """Clamp a virtual address into the translatable range."""
+    return va & ((1 << va_bits) - 1)

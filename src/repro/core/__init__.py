@@ -1,0 +1,42 @@
+"""DMT core: the paper's contribution (registers, TEAs, fetcher, DMT-Linux)."""
+
+from repro.core.costs import Environment, ManagementLedger
+from repro.core.dmt_os import DMTLinux, DMTPlacementPolicy
+from repro.core.fetcher import DMTFetcher, FetchResult
+from repro.core.mapping import MappingCluster, MappingManager
+from repro.core.paravirt import (
+    GTEATable,
+    IsolationViolation,
+    PvDMTHost,
+    PvTEAAllocator,
+)
+from repro.core.registers import (
+    DMTRegister,
+    DMTRegisterFile,
+    REGISTERS_PER_SET,
+    RegisterSet,
+)
+from repro.core.tea import TEA, TEAManager, TEAMigration, granule_shift
+
+__all__ = [
+    "Environment",
+    "ManagementLedger",
+    "DMTLinux",
+    "DMTPlacementPolicy",
+    "DMTFetcher",
+    "FetchResult",
+    "MappingCluster",
+    "MappingManager",
+    "GTEATable",
+    "IsolationViolation",
+    "PvDMTHost",
+    "PvTEAAllocator",
+    "DMTRegister",
+    "DMTRegisterFile",
+    "REGISTERS_PER_SET",
+    "RegisterSet",
+    "TEA",
+    "TEAManager",
+    "TEAMigration",
+    "granule_shift",
+]

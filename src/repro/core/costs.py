@@ -1,0 +1,81 @@
+"""Modeled costs of DMT's OS-side management work (§6.3).
+
+DMT trades infrequent VMA/TEA management for cheap translations; the paper
+quantifies the management side on a real, deliberately fragmented machine.
+We model each management operation with a calibrated latency and accumulate
+them in a ledger so the §6.3 overhead experiment can report totals.
+
+Calibration anchors (from §6.3):
+
+* TEA allocation: 13.27 / 23.73 / 48.07 ms for 50 / 100 / 200 MB in a VM —
+  a linear fit gives ~1.8 ms base + ~0.232 ms/MB (see
+  :mod:`repro.virt.hypercall`).
+* Bare hypercall: 1.88 us single-level, 10.75 us nested.
+* End-to-end management totals for Redis (the heaviest workload): ~12 ms
+  native, ~120 ms virtualized, ~598 ms nested — environment multipliers of
+  roughly 1x / 10x / 50x over native management cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: Fixed CPU cost of bookkeeping per management op, microseconds.
+OP_BASE_US = {
+    "tea_create": 120.0,
+    "tea_delete": 40.0,
+    "tea_expand": 80.0,
+    "tea_split": 100.0,
+    "mapping_merge": 90.0,
+    "tea_migrate_page": 3.0,   # per 4 KB of PTEs moved
+    "register_reload": 0.4,
+    "defrag": 900.0,
+}
+
+#: Per-MB cost of zeroing/placing the PTE pages of a freshly created TEA.
+TEA_TOUCH_US_PER_MB = 55.0
+
+
+class Environment(enum.Enum):
+    """Where management work runs; deeper virtualization costs more."""
+
+    NATIVE = 1.0
+    VIRTUALIZED = 10.0
+    NESTED = 50.0
+
+
+@dataclass
+class LedgerEntry:
+    op: str
+    micros: float
+    detail: str = ""
+
+
+@dataclass
+class ManagementLedger:
+    """Accumulates modeled DMT-Linux management time."""
+
+    environment: Environment = Environment.NATIVE
+    entries: List[LedgerEntry] = field(default_factory=list)
+
+    def record(self, op: str, extra_us: float = 0.0, detail: str = "") -> float:
+        base = OP_BASE_US.get(op, 0.0)
+        micros = (base + extra_us) * self.environment.value
+        self.entries.append(LedgerEntry(op, micros, detail))
+        return micros
+
+    @property
+    def total_us(self) -> float:
+        return sum(entry.micros for entry in self.entries)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1000.0
+
+    def by_op(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for entry in self.entries:
+            totals[entry.op] = totals.get(entry.op, 0.0) + entry.micros
+        return totals

@@ -1,0 +1,215 @@
+"""DMT-Linux: the OS side of DMT (§4.2–§4.4, §4.6.2).
+
+``DMTLinux`` attaches to a :class:`~repro.kernel.kernel.Kernel` and
+
+* hooks VMA creation/adjustment/splitting to maintain VMA-to-TEA mappings
+  (one :class:`~repro.core.mapping.MappingManager` per process);
+* replaces the page-table allocator so last-level table pages land inside
+  TEAs (:class:`DMTPlacementPolicy`);
+* reloads the DMT register file on context switches;
+* for virtualization, manages the mapping of each VM's guest-physical
+  space (the single host VMA of §4.5) so EPT leaf tables live in host
+  TEAs — the hVMA-to-hTEA mapping.
+
+All management work is charged to a :class:`~repro.core.costs.ManagementLedger`
+for the §6.3 overhead experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arch import PageSize
+from repro.core.costs import Environment, ManagementLedger
+from repro.core.mapping import MappingManager
+from repro.core.registers import DMTRegister, DMTRegisterFile, RegisterSet
+from repro.core.tea import TEAManager
+from repro.kernel.kernel import Kernel
+from repro.kernel.page_table import TablePlacementPolicy
+from repro.kernel.process import Process
+from repro.kernel.vma import VMA, VMAEvent
+from repro.virt.hypervisor import VM
+
+_LEVEL_TO_SIZE = {1: PageSize.SIZE_4K, 2: PageSize.SIZE_2M, 3: PageSize.SIZE_1G}
+
+
+class DMTPlacementPolicy(TablePlacementPolicy):
+    """Places last-level page-table pages at their TEA slots (§4.3).
+
+    Radix level 1 tables hold 4 KB-page PTEs, level 2 tables hold 2 MB-page
+    PTEs, level 3 tables 1 GB-page PTEs; each is directed to the TEA of the
+    corresponding page size when one covers the address. Uncovered
+    addresses (no TEA, migration in flight) fall back to the buddy
+    allocator — the x86 walker handles them.
+    """
+
+    def __init__(self, tea_manager: TEAManager, on_demand: bool = False,
+                 sizes: Optional[List[PageSize]] = None):
+        self.tea_manager = tea_manager
+        #: §7's lazy policy: TEAs materialize one granule at a time on the
+        #: first leaf-table placement instead of eagerly at mmap time.
+        self.on_demand = on_demand
+        #: page sizes DMT manages TEAs for (4 KB always; 2 MB under THP).
+        self.sizes = sizes or [PageSize.SIZE_4K]
+        self.placed = 0
+        self.fallback = 0
+
+    def place_table(self, level: int, va: int, page_size: PageSize) -> Optional[int]:
+        size = _LEVEL_TO_SIZE.get(level)
+        if size is None:
+            return None
+        if self.on_demand and size in self.sizes:
+            frame = self.tea_manager.ensure_granule(va, size)
+        else:
+            frame = self.tea_manager.frame_for_table(va, size)
+        if frame is None:
+            self.fallback += 1
+        else:
+            self.placed += 1
+        return frame
+
+    def table_released(self, frame: int, level: int, va: int) -> bool:
+        return self.tea_manager.owns_frame(frame)
+
+
+class DMTLinux:
+    """DMT support compiled into one kernel (host or guest)."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        register_set: RegisterSet = RegisterSet.NATIVE,
+        register_file: Optional[DMTRegisterFile] = None,
+        environment: Environment = Environment.NATIVE,
+        bubble_threshold: float = 0.02,
+        register_count: int = 16,
+        tea_allocator=None,
+        tea_policy: str = "eager",
+    ):
+        if tea_policy not in ("eager", "lazy"):
+            raise ValueError("tea_policy must be 'eager' or 'lazy'")
+        #: "eager" (the paper's default: TEAs for the whole VMA at mmap
+        #: time) or "lazy" (§7: on-demand granules with dynamic expansion).
+        self.tea_policy = tea_policy
+        self.kernel = kernel
+        #: When set (pvDMT guests), TEAs are allocated through this object
+        #: (a PvTEAAllocator issuing KVM_HC_ALLOC_TEA) instead of the local
+        #: buddy allocator.
+        self.tea_allocator = tea_allocator
+        self.register_set = register_set
+        self.register_file = register_file or DMTRegisterFile(register_count)
+        self.ledger = ManagementLedger(environment)
+        self.bubble_threshold = bubble_threshold
+        self.register_count = register_count
+        self.mappings: Dict[int, MappingManager] = {}   # pid -> manager
+        self.ept_mappings: Dict[int, MappingManager] = {}  # vm_id -> manager
+        kernel.set_placement_factory(self._placement_for)
+        kernel.add_context_switch_hook(self._on_context_switch)
+
+    # ------------------------------------------------------------------ #
+    # Process attachment
+    # ------------------------------------------------------------------ #
+
+    def _page_sizes(self) -> List[PageSize]:
+        sizes = [PageSize.SIZE_4K]
+        if self.kernel.thp_enabled:
+            sizes.append(PageSize.SIZE_2M)
+        return sizes
+
+    def _placement_for(self, process: Process) -> TablePlacementPolicy:
+        allocator = self.tea_allocator or self.kernel.memory.allocator
+        tea_manager = TEAManager(allocator, self.ledger)
+        manager = MappingManager(
+            tea_manager,
+            process.page_table,
+            bubble_threshold=self.bubble_threshold,
+            register_count=self.register_count,
+            page_sizes=self._page_sizes(),
+            tea_policy=self.tea_policy,
+        )
+        self.mappings[process.pid] = manager
+        process.addr_space.add_hook(
+            lambda event, vma, mgr=manager: self._on_vma_event(mgr, event, vma)
+        )
+        return DMTPlacementPolicy(tea_manager,
+                                  on_demand=self.tea_policy == "lazy",
+                                  sizes=self._page_sizes())
+
+    def manager_for(self, process: Process) -> MappingManager:
+        return self.mappings[process.pid]
+
+    def _on_vma_event(self, manager: MappingManager, event: VMAEvent, vma: VMA) -> None:
+        if event is VMAEvent.CREATED:
+            manager.vma_created(vma)
+        elif event is VMAEvent.GROWN:
+            manager.vma_grown(vma)
+        elif event is VMAEvent.SHRUNK:
+            manager.vma_shrunk(vma)
+        elif event is VMAEvent.REMOVED:
+            manager.vma_removed(vma)
+        # SPLIT keeps the cluster intact: the TEA already covers both halves.
+
+    # ------------------------------------------------------------------ #
+    # Register management (§4.1)
+    # ------------------------------------------------------------------ #
+
+    def _on_context_switch(self, process: Process) -> None:
+        manager = self.mappings.get(process.pid)
+        if manager is None:
+            self.register_file.clear(self.register_set)
+            return
+        self.register_file.load(self.register_set, manager.build_registers())
+
+    def reload_registers(self, process: Process,
+                         gtea_ids: Optional[Dict[int, int]] = None) -> List[DMTRegister]:
+        """Force a register reload reflecting current TEA state."""
+        manager = self.mappings[process.pid]
+        manager.run_migrations()
+        if gtea_ids is None and self.tea_allocator is not None and \
+                hasattr(self.tea_allocator, "gtea_id_for"):
+            gtea_ids = {
+                tea.tea_id: self.tea_allocator.gtea_id_for(tea.base_frame)
+                for cluster in manager.clusters
+                for tea in cluster.all_teas()
+            }
+        registers = manager.build_registers(gtea_ids)
+        self.register_file.load(self.register_set, registers)
+        return registers
+
+    # ------------------------------------------------------------------ #
+    # Host-side virtualization support (§4.5)
+    # ------------------------------------------------------------------ #
+
+    def attach_ept(self, vm: VM, host_thp: bool = False) -> MappingManager:
+        """Manage a VM's EPT leaf tables in host TEAs.
+
+        The guest-physical space is one host VMA (§4.5); its mapping covers
+        [0, vm.memory_bytes) of gPA. Must be called before the EPT is
+        populated so leaf tables land inside the TEA.
+        """
+        allocator = self.tea_allocator or self.kernel.memory.allocator
+        tea_manager = TEAManager(allocator, self.ledger)
+        sizes = [PageSize.SIZE_4K] + ([PageSize.SIZE_2M] if host_thp else [])
+        manager = MappingManager(
+            tea_manager,
+            vm.ept,
+            bubble_threshold=self.bubble_threshold,
+            register_count=self.register_count,
+            page_sizes=sizes,
+        )
+        manager.vma_created(vm.gpa_space_vma())
+        vm.ept.placement = DMTPlacementPolicy(tea_manager)
+        self.ept_mappings[vm.vm_id] = manager
+        return manager
+
+    def host_registers_for_vm(self, vm: VM) -> List[DMTRegister]:
+        manager = self.ept_mappings[vm.vm_id]
+        manager.run_migrations()
+        return manager.build_registers()
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def management_ms(self) -> float:
+        return self.ledger.total_ms

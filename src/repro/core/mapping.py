@@ -1,0 +1,277 @@
+"""VMA-to-TEA mapping management (§4.2).
+
+The mapping manager keeps one *cluster* per mapped region: a VMA, or a
+group of adjacent VMAs merged because the address bubbles between them are
+below the configurable threshold ``t`` (2% by default, §4.2.1). Each
+cluster owns one TEA per page size in use — possibly several after
+contiguity-forced splits (§4.2.2).
+
+Register selection follows the paper's policy: sort by size, store the
+mappings that cover the largest regions in the 16 registers — large VMAs
+(heap, mmapped files) cause virtually all page-table walks, while small
+hot VMAs (libraries, stack) rarely miss the TLB (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch import PageSize
+from repro.core.registers import DMTRegister, REGISTERS_PER_SET
+from repro.core.tea import TEA, TEAManager, TEAMigration
+from repro.kernel.page_table import RadixPageTable
+from repro.kernel.vma import VMA
+from repro.mem.buddy import ContiguityError
+
+DEFAULT_BUBBLE_THRESHOLD = 0.02
+
+
+@dataclass
+class MappingCluster:
+    """One VMA cluster and its TEAs."""
+
+    va_start: int
+    va_end: int
+    covered_bytes: int                      # actual VMA bytes (excl. bubbles)
+    vma_ids: List[int] = field(default_factory=list)
+    teas: Dict[PageSize, List[TEA]] = field(default_factory=dict)
+
+    @property
+    def span(self) -> int:
+        return self.va_end - self.va_start
+
+    @property
+    def bubble_ratio(self) -> float:
+        return 1.0 - self.covered_bytes / self.span if self.span else 0.0
+
+    def contains(self, va: int) -> bool:
+        return self.va_start <= va < self.va_end
+
+    def all_teas(self) -> List[TEA]:
+        return [tea for teas in self.teas.values() for tea in teas]
+
+
+class MappingManager:
+    """Per-process VMA-to-TEA mapping state (maintained by DMT-Linux)."""
+
+    def __init__(
+        self,
+        tea_manager: TEAManager,
+        page_table: Optional[RadixPageTable] = None,
+        bubble_threshold: float = DEFAULT_BUBBLE_THRESHOLD,
+        register_count: int = REGISTERS_PER_SET,
+        page_sizes: Optional[List[PageSize]] = None,
+        tea_policy: str = "eager",
+    ):
+        #: "eager" creates each cluster's TEAs at mmap time; "lazy" defers
+        #: to the placement policy's on-demand granule allocation (§7).
+        self.tea_policy = tea_policy
+        self.tea_manager = tea_manager
+        self.page_table = page_table
+        self.bubble_threshold = bubble_threshold
+        self.register_count = register_count
+        self.page_sizes = page_sizes or [PageSize.SIZE_4K]
+        self.clusters: List[MappingCluster] = []
+        self.pending_migrations: List[TEAMigration] = []
+        self.merges = 0
+
+    # ------------------------------------------------------------------ #
+    # VMA event handling
+    # ------------------------------------------------------------------ #
+
+    def vma_created(self, vma: VMA) -> MappingCluster:
+        """Create (or merge into) a mapping for a new VMA (§4.2.1)."""
+        neighbor = self._mergeable_neighbor(vma)
+        if neighbor is not None:
+            return self._merge_into(neighbor, vma)
+        cluster = MappingCluster(vma.start, vma.end, vma.size, [vma.vma_id])
+        for size in self.page_sizes:
+            cluster.teas[size] = [] if self.tea_policy == "lazy" else \
+                self._create_teas(vma.start, vma.end, size)
+        self.clusters.append(cluster)
+        self.clusters.sort(key=lambda c: c.va_start)
+        return cluster
+
+    def vma_grown(self, vma: VMA) -> None:
+        """Expand the covering cluster's TEAs after VMA growth (§4.2.3)."""
+        cluster = self._cluster_containing(vma.start)
+        if cluster is None:
+            self.vma_created(vma)
+            return
+        grown = vma.end - cluster.va_end
+        if grown <= 0:
+            return
+        cluster.covered_bytes += grown
+        cluster.va_end = vma.end
+        for size, teas in cluster.teas.items():
+            if not teas:
+                continue
+            last = max(teas, key=lambda t: t.va_end)
+            new_tea, migration = self.tea_manager.expand(
+                last, vma.end, self.page_table
+            )
+            if migration is not None:
+                teas.remove(last)
+                teas.append(new_tea)
+                self.pending_migrations.append(migration)
+            elif new_tea is not last:
+                teas.remove(last)
+                teas.append(new_tea)
+
+    def vma_shrunk(self, vma: VMA) -> None:
+        cluster = self._cluster_containing(vma.start)
+        if cluster is None:
+            return
+        shrunk = cluster.va_end - vma.end
+        if shrunk <= 0:
+            return
+        cluster.covered_bytes = max(0, cluster.covered_bytes - shrunk)
+        cluster.va_end = vma.end
+        for teas in cluster.teas.values():
+            for tea in list(teas):
+                if tea.va_start >= vma.end:
+                    self.tea_manager.delete(tea)
+                    teas.remove(tea)
+                elif tea.va_end > vma.end:
+                    self.tea_manager.shrink(tea, vma.end)
+                    if tea.tea_id not in self.tea_manager.teas:
+                        teas.remove(tea)
+
+    def vma_removed(self, vma: VMA) -> None:
+        cluster = self._cluster_containing(vma.start)
+        if cluster is None:
+            return
+        cluster.covered_bytes = max(0, cluster.covered_bytes - vma.size)
+        if vma.vma_id in cluster.vma_ids:
+            cluster.vma_ids.remove(vma.vma_id)
+        if not cluster.vma_ids or cluster.covered_bytes == 0:
+            for tea in cluster.all_teas():
+                self.tea_manager.delete(tea)
+            self.clusters.remove(cluster)
+
+    # ------------------------------------------------------------------ #
+    # Merging (§4.2.1)
+    # ------------------------------------------------------------------ #
+
+    def _mergeable_neighbor(self, vma: VMA) -> Optional[MappingCluster]:
+        """The preceding cluster, if clustering keeps bubbles under ``t``."""
+        best: Optional[MappingCluster] = None
+        for cluster in self.clusters:
+            if cluster.va_end <= vma.start and (
+                best is None or cluster.va_end > best.va_end
+            ):
+                best = cluster
+        if best is None:
+            return None
+        span = vma.end - best.va_start
+        covered = best.covered_bytes + vma.size
+        if span <= 0 or 1.0 - covered / span > self.bubble_threshold:
+            return None
+        return best
+
+    def _merge_into(self, cluster: MappingCluster, vma: VMA) -> MappingCluster:
+        self.merges += 1
+        self.tea_manager.ledger.record("mapping_merge")
+        cluster.vma_ids.append(vma.vma_id)
+        cluster.covered_bytes += vma.size
+        old_end = cluster.va_end
+        cluster.va_end = vma.end
+        for size in self.page_sizes:
+            teas = cluster.teas.setdefault(size, [])
+            if not teas:
+                if self.tea_policy != "lazy":
+                    teas.extend(self._create_teas(cluster.va_start,
+                                                  cluster.va_end, size))
+                continue
+            last = max(teas, key=lambda t: t.va_end)
+            new_tea, migration = self.tea_manager.expand(last, vma.end, self.page_table)
+            if migration is not None:
+                teas.remove(last)
+                teas.append(new_tea)
+                self.pending_migrations.append(migration)
+            elif new_tea is not last:
+                teas.remove(last)
+                teas.append(new_tea)
+        return cluster
+
+    def _create_teas(self, va_start: int, va_end: int, size: PageSize) -> List[TEA]:
+        try:
+            return self.tea_manager.create(va_start, va_end, size)
+        except ContiguityError:
+            # not even one granule of contiguous memory: no TEA, walks fall
+            # back to the x86 walker for this region (§7)
+            return []
+
+    # ------------------------------------------------------------------ #
+    # Migration upkeep
+    # ------------------------------------------------------------------ #
+
+    def run_migrations(self, tables_per_step: int = 1 << 30) -> int:
+        """Advance pending migrations (the background worker, §4.3)."""
+        moved = 0
+        for migration in list(self.pending_migrations):
+            moved += migration.step(tables_per_step)
+            if migration.done:
+                self.tea_manager.finish_migration(migration)
+                self.pending_migrations.remove(migration)
+        return moved
+
+    # ------------------------------------------------------------------ #
+    # Register file contents (§4.2)
+    # ------------------------------------------------------------------ #
+
+    def build_registers(
+        self, gtea_ids: Optional[Dict[int, int]] = None
+    ) -> List[DMTRegister]:
+        """The up-to-16 mappings to load, largest VA coverage first.
+
+        ``gtea_ids`` (pvDMT) maps TEA ids to gTEA-table indices; when given,
+        registers carry the gTEA ID instead of relying on the TEA frame
+        being a host-physical base.
+        """
+        candidates = []
+        for cluster in self.clusters:
+            for tea in cluster.all_teas():
+                candidates.append(tea)
+        if not candidates and self.tea_policy == "lazy":
+            # lazy TEAs materialize outside the clusters' bookkeeping
+            candidates = list(self.tea_manager.teas.values())
+        candidates.sort(key=lambda tea: (tea.va_end - tea.va_start), reverse=True)
+        registers = []
+        for tea in candidates[: self.register_count]:
+            shift = int(tea.page_size)
+            registers.append(
+                DMTRegister(
+                    vma_base_vpn=tea.va_start >> shift,
+                    tea_base_pfn=tea.base_frame,
+                    vma_size_pages=(tea.va_end - tea.va_start) >> shift,
+                    page_size=tea.page_size,
+                    present=tea.present,
+                    gtea_id=gtea_ids.get(tea.tea_id) if gtea_ids else None,
+                )
+            )
+        self.tea_manager.ledger.record("register_reload")
+        return registers
+
+    def coverage(self, total_mapped_bytes: int) -> float:
+        """Fraction of mapped bytes covered by the selected registers."""
+        if not total_mapped_bytes:
+            return 0.0
+        selected = sorted(
+            (tea for c in self.clusters for tea in c.all_teas()),
+            key=lambda tea: tea.va_end - tea.va_start,
+            reverse=True,
+        )[: self.register_count]
+        covered = sum(min(t.va_end, t.va_end) - t.va_start for t in selected)
+        return min(1.0, covered / total_mapped_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _cluster_containing(self, va: int) -> Optional[MappingCluster]:
+        for cluster in self.clusters:
+            if cluster.contains(va):
+                return cluster
+        return None

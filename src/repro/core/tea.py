@@ -1,0 +1,352 @@
+"""Translation Entry Areas and their manager (§3, §4.3).
+
+A TEA is a contiguous physical region holding the last-level PTEs of one
+VMA (or VMA cluster), in virtual-address order. Because x86 groups 512
+PTEs into one table page, a TEA is implemented as a contiguous run of
+*leaf table pages*: one 4 KB page of TEA per 2 MB of VA for base pages
+(level-1 tables), one per 1 GB of VA for 2 MB pages (level-2 tables).
+The radix tree's parent entries point into the TEA, so the x86 walker and
+the DMT fetcher read the *same* PTE bytes — no duplication, no extra TLB
+shootdowns (§3).
+
+The manager implements the paper's TEA life cycle:
+
+* **create** via the contiguous allocator; on contiguity failure the
+  request is **split** in half repeatedly (§4.2.2);
+* **expand** in place when a VMA grows; otherwise allocate a new TEA and
+  **migrate** gradually, with the mapping's P-bit cleared so translations
+  fall back to the x86 walker until migration completes (§4.3, §4.6.1);
+* **delete** on VMA removal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch import PAGE_SHIFT, PageSize, align_down, align_up
+from repro.core.costs import ManagementLedger
+from repro.kernel.page_table import RadixPageTable
+from repro.mem.buddy import BuddyAllocator, ContiguityError
+
+
+def granule_shift(page_size: PageSize) -> int:
+    """log2 of the VA bytes covered by one TEA page for this page size.
+
+    One leaf table page holds 512 PTEs: 512 * 4 KB = 2 MB of VA for base
+    pages, 512 * 2 MB = 1 GB for 2 MB pages.
+    """
+    return int(page_size) + 9
+
+
+@dataclass
+class TEA:
+    """One contiguous run of leaf-table pages covering an aligned VA span."""
+
+    tea_id: int
+    page_size: PageSize
+    va_start: int          # granule-aligned
+    va_end: int            # granule-aligned
+    base_frame: int
+    present: bool = True   # cleared while this TEA is being migrated into
+
+    @property
+    def granule_bytes(self) -> int:
+        return 1 << granule_shift(self.page_size)
+
+    @property
+    def npages(self) -> int:
+        return (self.va_end - self.va_start) >> granule_shift(self.page_size)
+
+    @property
+    def nbytes(self) -> int:
+        return self.npages << PAGE_SHIFT
+
+    def covers(self, va: int) -> bool:
+        return self.va_start <= va < self.va_end
+
+    def frame_for_table(self, va: int) -> int:
+        """TEA frame holding the leaf table covering ``va``."""
+        if not self.covers(va):
+            raise ValueError(f"va {va:#x} outside TEA span")
+        index = (va - self.va_start) >> granule_shift(self.page_size)
+        return self.base_frame + index
+
+    def pte_addr(self, va: int) -> int:
+        """Physical address of the last-level PTE for ``va`` (Figure 7)."""
+        if not self.covers(va):
+            raise ValueError(f"va {va:#x} outside TEA span")
+        offset = (va - self.va_start) >> int(self.page_size)
+        return (self.base_frame << PAGE_SHIFT) + offset * 8
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TEA#{self.tea_id}({self.page_size.name}, va {self.va_start:#x}-"
+            f"{self.va_end:#x}, frames {self.base_frame}+{self.npages})"
+        )
+
+
+@dataclass
+class TEAMigration:
+    """Gradual migration of a TEA to a larger contiguous region (§4.3)."""
+
+    source: TEA
+    target: TEA
+    page_table: Optional[RadixPageTable]
+    pending: List[int] = field(default_factory=list)  # granule base VAs left to move
+
+    @property
+    def done(self) -> bool:
+        return not self.pending
+
+    def step(self, max_tables: int = 1) -> int:
+        """Move up to ``max_tables`` leaf tables; the background worker."""
+        moved = 0
+        while self.pending and moved < max_tables:
+            va = self.pending.pop()
+            new_frame = self.target.frame_for_table(va)
+            if self.page_table is not None and \
+                    self.page_table.table_frame(va, self.target.page_size.leaf_level) is not None:
+                self.page_table.relocate_table(
+                    va, self.target.page_size.leaf_level, new_frame
+                )
+            moved += 1
+        if self.done:
+            self.target.present = True
+        return moved
+
+    def run_to_completion(self) -> int:
+        return self.step(max_tables=len(self.pending) or 1)
+
+
+class TEAManager:
+    """Owns every TEA of one memory domain (one per kernel)."""
+
+    def __init__(self, allocator: BuddyAllocator, ledger: Optional[ManagementLedger] = None):
+        self.allocator = allocator
+        self.ledger = ledger or ManagementLedger()
+        self._ids = itertools.count(1)
+        self.teas: Dict[int, TEA] = {}
+        # granule ownership: (page_size, va >> granule_shift) -> TEA
+        self._owner: Dict[Tuple[int, int], TEA] = {}
+        self.splits = 0
+        self.migrations = 0
+
+    # ------------------------------------------------------------------ #
+    # Creation / deletion
+    # ------------------------------------------------------------------ #
+
+    def create(self, va_start: int, va_end: int, page_size: PageSize) -> List[TEA]:
+        """Allocate TEA(s) covering [va_start, va_end).
+
+        Returns one TEA normally; several when contiguity forced splits
+        (§4.2.2). The span is trimmed to granules not already owned by
+        another TEA (shared boundary leaf tables stay where they are).
+        """
+        shift = granule_shift(page_size)
+        start = align_down(va_start, 1 << shift)
+        end = align_up(va_end, 1 << shift)
+        key = int(page_size)
+        while start < end and (key, start >> shift) in self._owner:
+            start += 1 << shift
+        while end > start and (key, (end - 1) >> shift) in self._owner:
+            end -= 1 << shift
+        if start >= end:
+            return []
+        return self._create_split(start, end, page_size)
+
+    def _create_split(self, start: int, end: int, page_size: PageSize) -> List[TEA]:
+        shift = granule_shift(page_size)
+        npages = (end - start) >> shift
+        try:
+            base = self.allocator.alloc_contig(npages, movable=False)
+        except ContiguityError:
+            if npages == 1:
+                raise
+            # §4.2.2: split the mapping in two, each covering half the VMA,
+            # and keep splitting until allocation succeeds.
+            self.splits += 1
+            self.ledger.record("tea_split")
+            mid = start + ((npages // 2) << shift)
+            return self._create_split(start, mid, page_size) + \
+                self._create_split(mid, end, page_size)
+        tea = TEA(next(self._ids), page_size, start, end, base)
+        self.teas[tea.tea_id] = tea
+        for granule in range(start >> shift, end >> shift):
+            self._owner[(int(page_size), granule)] = tea
+        self.ledger.record(
+            "tea_create",
+            extra_us=(tea.nbytes / (1024 * 1024)) * 55.0,
+            detail=f"{tea.nbytes >> 10} KiB",
+        )
+        return [tea]
+
+    def delete(self, tea: TEA) -> None:
+        if tea.tea_id not in self.teas:
+            raise KeyError(f"unknown TEA id {tea.tea_id}")
+        self.allocator.free_contig(tea.base_frame, tea.npages)
+        self._forget(tea)
+        self.ledger.record("tea_delete")
+
+    def _forget(self, tea: TEA) -> None:
+        self.teas.pop(tea.tea_id, None)
+        shift = granule_shift(tea.page_size)
+        for granule in range(tea.va_start >> shift, tea.va_end >> shift):
+            if self._owner.get((int(tea.page_size), granule)) is tea:
+                self._owner.pop((int(tea.page_size), granule))
+
+    # ------------------------------------------------------------------ #
+    # Expansion / shrinking (§4.2.3, §4.3)
+    # ------------------------------------------------------------------ #
+
+    def expand(
+        self,
+        tea: TEA,
+        new_va_end: int,
+        page_table: Optional[RadixPageTable] = None,
+    ) -> Tuple[TEA, Optional[TEAMigration]]:
+        """Grow a TEA to cover up to ``new_va_end``.
+
+        In-place expansion keeps the same TEA. Otherwise a new TEA is
+        allocated and a :class:`TEAMigration` is returned; the new TEA's
+        P-bit stays clear (translations fall back to the x86 walker) until
+        the caller drives the migration to completion.
+        """
+        shift = granule_shift(tea.page_size)
+        end = align_up(new_va_end, 1 << shift)
+        if end <= tea.va_end:
+            return tea, None
+        extra = (end - tea.va_end) >> shift
+        if self.allocator.expand_contig(tea.base_frame, tea.npages, extra):
+            old_end = tea.va_end
+            tea.va_end = end
+            for granule in range(old_end >> shift, end >> shift):
+                self._owner[(int(tea.page_size), granule)] = tea
+            self.ledger.record("tea_expand")
+            return tea, None
+        return self._expand_by_migration(tea, end, page_table)
+
+    def _expand_by_migration(
+        self, tea: TEA, end: int, page_table: Optional[RadixPageTable]
+    ) -> Tuple[TEA, Optional[TEAMigration]]:
+        shift = granule_shift(tea.page_size)
+        npages = (end - tea.va_start) >> shift
+        base = self.allocator.alloc_contig(npages, movable=False)
+        target = TEA(next(self._ids), tea.page_size, tea.va_start, end, base,
+                     present=False)
+        self.teas[target.tea_id] = target
+        pending = [
+            granule << shift
+            for granule in range(tea.va_start >> shift, tea.va_end >> shift)
+        ]
+        migration = TEAMigration(tea, target, page_table, pending)
+        self.migrations += 1
+        self.ledger.record("tea_expand")
+        self.ledger.record("tea_migrate_page", extra_us=3.0 * len(pending))
+        return target, migration
+
+    def finish_migration(self, migration: TEAMigration) -> TEA:
+        """Drive a migration to completion and retire the source TEA."""
+        migration.run_to_completion()
+        source, target = migration.source, migration.target
+        shift = granule_shift(target.page_size)
+        self.allocator.free_contig(source.base_frame, source.npages)
+        self.teas.pop(source.tea_id, None)
+        level = target.page_size.leaf_level
+        for granule in range(target.va_start >> shift, target.va_end >> shift):
+            self._owner[(int(target.page_size), granule)] = target
+            # Leaf tables created outside the TEA while the migration was in
+            # flight (the grown region, or new faults) are pulled in now so
+            # the register arithmetic stays exact for the whole span.
+            if migration.page_table is not None:
+                va = granule << shift
+                frame = migration.page_table.table_frame(va, level)
+                want = target.frame_for_table(va)
+                if frame is not None and frame != want:
+                    old = migration.page_table.relocate_table(va, level, want)
+                    if not self.owns_frame(old) and \
+                            old != source.base_frame + (granule - (source.va_start >> shift)):
+                        # scattered fallback tables came from the page
+                        # table's own (buddy) allocator, not the TEA one
+                        try:
+                            migration.page_table.memory.allocator.free_pages(old)
+                        except ValueError:
+                            pass
+        return target
+
+    def shrink(self, tea: TEA, new_va_end: int) -> TEA:
+        """Release the tail of a TEA when its VMA shrinks (§4.2.3)."""
+        shift = granule_shift(tea.page_size)
+        end = align_up(new_va_end, 1 << shift)
+        if end >= tea.va_end:
+            return tea
+        if end <= tea.va_start:
+            self.delete(tea)
+            return tea
+        old_npages = tea.npages
+        drop = (tea.va_end - end) >> shift
+        self.allocator.shrink_contig(tea.base_frame, old_npages, old_npages - drop)
+        for granule in range(end >> shift, tea.va_end >> shift):
+            self._owner.pop((int(tea.page_size), granule), None)
+        tea.va_end = end
+        self.ledger.record("tea_delete", detail="shrink")
+        return tea
+
+    # ------------------------------------------------------------------ #
+    # On-demand allocation (§7: "more advanced TEA allocation policies
+    # can be employed, e.g., on-demand allocation of small-sized TEAs
+    # with dynamic expansion")
+    # ------------------------------------------------------------------ #
+
+    def ensure_granule(self, va: int, page_size: PageSize) -> Optional[int]:
+        """Lazy policy: own the granule covering ``va``, allocating at most
+        one TEA page now.
+
+        Tries, in order: an existing owner; in-place expansion of the TEA
+        ending exactly at this granule (dynamic expansion keeps runs
+        contiguous, so register coverage stays coarse); a fresh one-page
+        TEA. Returns the frame for the leaf table, or None when even a
+        single page cannot be allocated.
+        """
+        existing = self.owner_of(va, page_size)
+        if existing is not None:
+            return existing.frame_for_table(va)
+        shift = granule_shift(page_size)
+        gstart = align_down(va, 1 << shift)
+        key = int(page_size)
+        if gstart > 0:
+            prev = self._owner.get((key, (gstart >> shift) - 1))
+            if prev is not None and prev.va_end == gstart and \
+                    self.allocator.expand_contig(prev.base_frame, prev.npages, 1):
+                prev.va_end = gstart + (1 << shift)
+                self._owner[(key, gstart >> shift)] = prev
+                self.ledger.record("tea_expand", detail="on-demand")
+                return prev.frame_for_table(va)
+        try:
+            tea = self._create_split(gstart, gstart + (1 << shift), page_size)[0]
+        except ContiguityError:
+            return None
+        return tea.frame_for_table(va)
+
+    # ------------------------------------------------------------------ #
+    # Lookup used by the placement policy
+    # ------------------------------------------------------------------ #
+
+    def owner_of(self, va: int, page_size: PageSize) -> Optional[TEA]:
+        return self._owner.get((int(page_size), va >> granule_shift(page_size)))
+
+    def frame_for_table(self, va: int, page_size: PageSize) -> Optional[int]:
+        tea = self.owner_of(va, page_size)
+        if tea is None:
+            return None
+        return tea.frame_for_table(va)
+
+    def owns_frame(self, frame: int) -> bool:
+        return any(
+            tea.base_frame <= frame < tea.base_frame + tea.npages
+            for tea in self.teas.values()
+        )
+
+    def total_tea_bytes(self) -> int:
+        return sum(tea.nbytes for tea in self.teas.values())

@@ -1,0 +1,27 @@
+"""Hardware models: caches, TLBs, page-walk caches, machine configuration."""
+
+from repro.hw.cache import AccessResult, CacheHierarchy, SetAssociativeCache
+from repro.hw.config import (
+    CacheConfig,
+    MachineConfig,
+    PWCConfig,
+    TLBConfig,
+    xeon_gold_6138,
+)
+from repro.hw.pwc import NestedPWC, PageWalkCache
+from repro.hw.tlb import TLB, TLBHierarchy
+
+__all__ = [
+    "AccessResult",
+    "CacheHierarchy",
+    "SetAssociativeCache",
+    "CacheConfig",
+    "MachineConfig",
+    "PWCConfig",
+    "TLBConfig",
+    "xeon_gold_6138",
+    "NestedPWC",
+    "PageWalkCache",
+    "TLB",
+    "TLBHierarchy",
+]

@@ -1,0 +1,94 @@
+"""Hardware configuration of the simulated machine.
+
+The defaults reproduce Table 3 of the paper, which itself mirrors the
+measurement platform of Table 2 (an Intel Xeon Gold 6138).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A set-associative cache level.
+
+    ``latency`` is the round-trip access latency in cycles charged on a hit
+    at this level (Table 3 lists 4 / 14 / 54 cycles for L1D / L2 / LLC).
+    """
+
+    name: str
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    latency: int = 4
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.assoc * self.line_bytes)
+        if sets <= 0:
+            raise ValueError(f"cache {self.name} too small for its geometry")
+        return sets
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """A TLB level (entries are page translations, not bytes)."""
+
+    name: str
+    entries: int
+    assoc: int
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.entries // self.assoc)
+
+
+@dataclass(frozen=True)
+class PWCConfig:
+    """Page-walk cache: per-level entry counts, top level first.
+
+    Table 3: "3 levels, 2-4-32 entries per level, 1 cycle RT" — the three
+    levels cache L4, L3 and L2 partial translations respectively.
+    """
+
+    entries_per_level: Tuple[int, ...] = (2, 4, 32)
+    latency: int = 1
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full simulated-machine configuration (Table 3)."""
+
+    cores: int = 20
+    l1d_tlb: TLBConfig = field(default_factory=lambda: TLBConfig("L1D TLB", 64, 4))
+    l1i_tlb: TLBConfig = field(default_factory=lambda: TLBConfig("L1I TLB", 128, 8))
+    l2_stlb: TLBConfig = field(default_factory=lambda: TLBConfig("L2 STLB", 1536, 12))
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1D", 32 * 1024, 8, latency=4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 1024 * 1024, 16, latency=14)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig("LLC", 22 * 1024 * 1024, 11, latency=54)
+    )
+    memory_latency: int = 200
+    pwc: PWCConfig = field(default_factory=PWCConfig)
+    nested_pwc: PWCConfig = field(default_factory=PWCConfig)
+    #: Fraction of each cache level's capacity effectively available to
+    #: page-table lines while the application streams data through the same
+    #: hierarchy. The walk-side replay (repro.sim) sizes its PTE caches by
+    #: this factor instead of re-simulating every data access per design.
+    pte_cache_share: float = 0.02
+
+    def scaled_pte_cache(self, cfg: CacheConfig) -> CacheConfig:
+        """Shrink a cache level to the share available for PTE lines."""
+        size = max(cfg.assoc * cfg.line_bytes, int(cfg.size_bytes * self.pte_cache_share))
+        return CacheConfig(cfg.name + "(pte)", size, cfg.assoc, cfg.line_bytes, cfg.latency)
+
+
+def xeon_gold_6138() -> MachineConfig:
+    """The paper's simulated platform (Tables 2 and 3)."""
+    return MachineConfig()

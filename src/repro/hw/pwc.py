@@ -1,0 +1,161 @@
+"""Page-walk caches (PWC) and the nested PWC.
+
+A PWC caches partial translations: level ``n`` of the PWC maps the virtual
+address bits consumed down to radix level ``n`` onto the physical address of
+the level-``n`` page-table node, letting the walker skip the upper levels of
+the tree. Table 3 configures three PWC levels with 2 / 4 / 32 entries
+(caching L4, L3 and L2 lookups respectively) at 1-cycle latency.
+
+The nested PWC plays the same role for the host dimension of a 2D walk: it
+caches gPA -> host-leaf partial walks so the inner hL4..hL1 chain can be
+skipped for recently-walked guest-physical pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.arch import level_shift
+from repro.hw.config import PWCConfig
+
+
+@dataclass
+class PWCStats:
+    hits: int = 0
+    misses: int = 0
+
+
+class _LRUTable:
+    """Tiny fully-associative LRU table (PWC levels hold 2..32 entries)."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: Dict[int, int] = {}
+
+    def get(self, key: int) -> Optional[int]:
+        if key in self._entries:
+            value = self._entries.pop(key)
+            self._entries[key] = value
+            return value
+        return None
+
+    def put(self, key: int, value: int) -> None:
+        if key in self._entries:
+            self._entries.pop(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class PageWalkCache:
+    """MMU cache over the upper levels of a radix tree.
+
+    For a walk starting at level ``top`` (4 or 5), ``best_entry`` returns the
+    deepest cached level: the walker then starts fetching at ``level - 1``.
+    Keys are the VA prefix consumed above the returned node.
+    """
+
+    def __init__(self, config: PWCConfig, top_level: int = 4,
+                 accept_rates: Optional[Sequence[float]] = None):
+        self.config = config
+        self.top_level = top_level
+        # PWC level i caches nodes *pointed to by* radix level (top - i),
+        # i.e. tables[0] -> skips L4, tables[-1] -> skips down to L2.
+        self._tables = [_LRUTable(n) for n in config.entries_per_level]
+        self.stats = PWCStats()
+        # Hit-rate thinning for scaled-down simulations: a hit at PWC
+        # level i is *accepted* only at rate accept_rates[i], restoring the
+        # hit rate the same structure would see against a full-size
+        # working set (DESIGN.md §5). Deterministic (credit counters).
+        self._accept = list(accept_rates) if accept_rates is not None else None
+        self._credit = [0.0] * len(self._tables)
+
+    def _key(self, va: int, level: int) -> int:
+        """VA bits that select the level-``level`` table."""
+        return va >> level_shift(level + 1)
+
+    def cached_levels(self) -> range:
+        """Radix levels whose *table address* this PWC can provide.
+
+        With three PWC levels on a 4-level tree these are levels 3, 2, 1
+        skipped down to — i.e. the PWC can provide the address of the L3,
+        L2, or L1 table directly.
+        """
+        return range(self.top_level - 1, self.top_level - 1 - len(self._tables), -1)
+
+    def best_entry(self, va: int) -> Tuple[int, Optional[int]]:
+        """Deepest cached partial walk for ``va``.
+
+        Returns ``(level, table_addr)`` where ``level`` is the radix level of
+        the table whose physical address is ``table_addr``; the walker resumes
+        by indexing that table. If nothing is cached, returns
+        ``(top_level, None)`` and the walk starts from the root.
+        """
+        for offset in range(len(self._tables) - 1, -1, -1):
+            level = self.top_level - 1 - offset  # table level this PWC level provides
+            addr = self._tables[offset].get(self._key(va, level))
+            if addr is not None and self._accept_hit(offset):
+                self.stats.hits += 1
+                return (level, addr)
+        self.stats.misses += 1
+        return (self.top_level, None)
+
+    def _accept_hit(self, offset: int) -> bool:
+        if self._accept is None:
+            return True
+        self._credit[offset] += self._accept[offset]
+        if self._credit[offset] >= 1.0:
+            self._credit[offset] -= 1.0
+            return True
+        return False
+
+    def fill(self, va: int, level: int, table_addr: int) -> None:
+        """Record that the level-``level`` table for ``va`` lives at ``table_addr``."""
+        offset = self.top_level - 1 - level
+        if 0 <= offset < len(self._tables):
+            self._tables[offset].put(self._key(va, level), table_addr)
+
+    def flush(self) -> None:
+        for table in self._tables:
+            table.clear()
+
+
+class NestedPWC:
+    """Caches completed gPA -> hPA translations of page-table accesses.
+
+    During a 2D walk every guest-dimension step needs the host physical
+    address of a guest-physical page-table page; this cache short-circuits
+    the inner host walk for recently used guest-physical frames (the paper's
+    "Nested PWC", Table 3). Keyed by guest frame number.
+    """
+
+    def __init__(self, config: PWCConfig, accept_rate: float = 1.0):
+        self.config = config
+        self._table = _LRUTable(sum(config.entries_per_level))
+        self.stats = PWCStats()
+        self._accept = accept_rate
+        self._credit = 0.0
+
+    def get(self, gfn: int) -> Optional[int]:
+        hfn = self._table.get(gfn)
+        if hfn is not None and self._accept < 1.0:
+            self._credit += self._accept
+            if self._credit >= 1.0:
+                self._credit -= 1.0
+            else:
+                hfn = None
+        if hfn is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return hfn
+
+    def fill(self, gfn: int, hfn: int) -> None:
+        self._table.put(gfn, hfn)
+
+    def flush(self) -> None:
+        self._table.clear()

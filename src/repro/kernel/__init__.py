@@ -1,0 +1,39 @@
+"""OS substrate: VMAs, radix page tables, processes, THP, kernel facade."""
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.page_table import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_HUGE,
+    PTE_PRESENT,
+    PTE_WRITE,
+    RadixPageTable,
+    TablePlacementPolicy,
+    WalkStep,
+    make_pte,
+    pte_frame,
+)
+from repro.kernel.process import PageFaultError, Process
+from repro.kernel.sharing import FrameRefs, SharingManager
+from repro.kernel.vma import VMA, AddressSpace, VMAEvent
+
+__all__ = [
+    "Kernel",
+    "PTE_ACCESSED",
+    "PTE_DIRTY",
+    "PTE_HUGE",
+    "PTE_PRESENT",
+    "PTE_WRITE",
+    "RadixPageTable",
+    "TablePlacementPolicy",
+    "WalkStep",
+    "make_pte",
+    "pte_frame",
+    "PageFaultError",
+    "Process",
+    "FrameRefs",
+    "SharingManager",
+    "VMA",
+    "AddressSpace",
+    "VMAEvent",
+]

@@ -1,0 +1,98 @@
+"""The kernel facade: physical memory, processes, scheduling hooks.
+
+A :class:`Kernel` owns one physical-memory domain and its processes. It is
+used both as the host OS and — inside a :class:`~repro.virt.hypervisor.VM`
+— as the guest OS (whose "physical" memory is guest-physical). DMT-Linux
+(:mod:`repro.core.dmt_os`) attaches to a kernel through the placement
+factory and the context-switch hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.kernel.page_table import TablePlacementPolicy
+from repro.kernel.process import Process
+from repro.mem.physmem import PhysicalMemory
+
+PlacementFactory = Callable[[Process], Optional[TablePlacementPolicy]]
+
+
+class Kernel:
+    """A minimal OS kernel over one physical-memory domain."""
+
+    def __init__(
+        self,
+        memory_bytes: Optional[int] = None,
+        memory: Optional[PhysicalMemory] = None,
+        levels: int = 4,
+        thp_enabled: bool = False,
+        name: str = "host",
+    ):
+        if memory is None:
+            if memory_bytes is None:
+                raise ValueError("give either memory_bytes or a PhysicalMemory")
+            memory = PhysicalMemory(memory_bytes)
+        self.memory = memory
+        self.levels = levels
+        self.thp_enabled = thp_enabled
+        self.name = name
+        self.processes: Dict[int, Process] = {}
+        self.current: Optional[Process] = None
+        self._placement_factory: Optional[PlacementFactory] = None
+        self._switch_hooks: List[Callable[[Process], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Extension points (used by DMT-Linux)
+    # ------------------------------------------------------------------ #
+
+    def set_placement_factory(self, factory: PlacementFactory) -> None:
+        """Install the page-table placement policy source for new processes."""
+        self._placement_factory = factory
+
+    def add_context_switch_hook(self, hook: Callable[[Process], None]) -> None:
+        """Hook fired after each context switch (DMT reloads its registers here)."""
+        self._switch_hooks.append(hook)
+
+    # ------------------------------------------------------------------ #
+    # Process lifecycle
+    # ------------------------------------------------------------------ #
+
+    def create_process(self, name: str = "proc") -> Process:
+        process = Process(
+            self.memory,
+            levels=self.levels,
+            placement=None,
+            thp_enabled=self.thp_enabled,
+            name=name,
+        )
+        if self._placement_factory is not None:
+            policy = self._placement_factory(process)
+            if policy is not None:
+                process.page_table.placement = policy
+        self.processes[process.pid] = process
+        if self.current is None:
+            self.context_switch(process)
+        return process
+
+    def context_switch(self, process: Process) -> None:
+        if process.pid not in self.processes:
+            raise ValueError("cannot switch to a foreign process")
+        self.current = process
+        for hook in self._switch_hooks:
+            hook(process)
+
+    def exit_process(self, process: Process) -> None:
+        self.processes.pop(process.pid, None)
+        for vma in list(process.addr_space.vmas()):
+            process.munmap(vma.start, vma.size)
+        process.page_table.destroy()
+        if self.current is process:
+            self.current = None
+
+    # ------------------------------------------------------------------ #
+    # Accounting (§6.3 page-table memory overhead)
+    # ------------------------------------------------------------------ #
+
+    def page_table_bytes(self) -> int:
+        return sum(p.page_table_bytes() for p in self.processes.values())

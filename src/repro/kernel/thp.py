@@ -1,0 +1,86 @@
+"""Transparent Huge Page support: promotion and demotion.
+
+Models Linux's khugepaged: scan VMAs for 2 MB-aligned ranges fully backed
+by 4 KB pages, migrate them into one order-9 block and replace the 512 leaf
+PTEs with a single L2 huge PTE. Under DMT the corresponding VMA-to-TEA
+mapping is untouched — only the PTEs inside the (per-size) TEAs change
+(§4.4), which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch import PAGE_SIZE, PageSize, align_up
+from repro.kernel.process import Process, _HUGE_ORDER
+from repro.kernel.vma import VMA
+from repro.mem.buddy import OutOfMemoryError
+
+HUGE_BYTES = PageSize.SIZE_2M.bytes
+
+
+def promotable_ranges(process: Process, vma: VMA) -> List[int]:
+    """2 MB-aligned base addresses inside ``vma`` fully backed by 4 KB pages."""
+    result = []
+    start = align_up(vma.start, HUGE_BYTES)
+    for base in range(start, vma.end - HUGE_BYTES + 1, HUGE_BYTES):
+        fully_backed = True
+        for offset in range(0, HUGE_BYTES, PAGE_SIZE):
+            found = process.page_table.lookup(base + offset)
+            if found is None or found[2] != PageSize.SIZE_4K:
+                fully_backed = False
+                break
+        if fully_backed:
+            result.append(base)
+    return result
+
+
+def promote(process: Process, base: int) -> bool:
+    """Collapse 512 base pages at ``base`` into one 2 MB page.
+
+    Returns False when no order-9 block is available (promotion is skipped,
+    as khugepaged does under fragmentation).
+    """
+    if base % HUGE_BYTES:
+        raise ValueError("promotion base must be 2 MB aligned")
+    try:
+        huge_frame = process.memory.allocator.alloc_pages(_HUGE_ORDER, movable=True)
+    except OutOfMemoryError:
+        return False
+    for offset in range(0, HUGE_BYTES, PAGE_SIZE):
+        frame = process.page_table.unmap(base + offset, PageSize.SIZE_4K)
+        if frame is not None:
+            try:
+                process.memory.allocator.free_pages(frame, 0)
+            except ValueError:
+                pass
+    process.page_table.map(base, huge_frame, PageSize.SIZE_2M)
+    return True
+
+
+def demote(process: Process, base: int) -> None:
+    """Split one 2 MB page back into 512 base pages."""
+    if base % HUGE_BYTES:
+        raise ValueError("demotion base must be 2 MB aligned")
+    found = process.page_table.lookup(base)
+    if found is None or found[2] != PageSize.SIZE_2M:
+        raise ValueError(f"{base:#x} is not mapped as a 2 MB page")
+    huge_frame = process.page_table.unmap(base, PageSize.SIZE_2M)
+    process.memory.allocator.free_pages(huge_frame, _HUGE_ORDER)
+    for offset in range(0, HUGE_BYTES, PAGE_SIZE):
+        frame = process.memory.allocator.alloc_pages(0, movable=True)
+        process.page_table.map(base + offset, frame, PageSize.SIZE_4K)
+
+
+def khugepaged_pass(process: Process, max_promotions: int = 1 << 30) -> int:
+    """One background scan: promote every eligible range. Returns count."""
+    promoted = 0
+    for vma in process.addr_space.vmas():
+        if vma.size < HUGE_BYTES:
+            continue
+        for base in promotable_ranges(process, vma):
+            if promoted >= max_promotions:
+                return promoted
+            if promote(process, base):
+                promoted += 1
+    return promoted

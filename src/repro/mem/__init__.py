@@ -1,0 +1,21 @@
+"""Physical-memory substrate: buddy allocator, frame space, fragmentation."""
+
+from repro.mem.buddy import (
+    BuddyAllocator,
+    ContiguityError,
+    OutOfMemoryError,
+    MAX_ORDER,
+)
+from repro.mem.fragmentation import fragment
+from repro.mem.physmem import PhysicalMemory, addr_to_frame, frame_to_addr
+
+__all__ = [
+    "BuddyAllocator",
+    "ContiguityError",
+    "OutOfMemoryError",
+    "MAX_ORDER",
+    "fragment",
+    "PhysicalMemory",
+    "addr_to_frame",
+    "frame_to_addr",
+]

@@ -1,0 +1,51 @@
+"""Fragmentation tooling.
+
+Reproduces the methodology of §6.3: before measuring DMT's management
+overhead the authors fragment memory with the tool from Ingens [40] until
+the free-memory fragmentation index (FMFI) reaches 0.99. ``fragment``
+drives a :class:`~repro.mem.buddy.BuddyAllocator` into that state by
+allocating scattered order-0 pages and freeing every other one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.mem.buddy import BuddyAllocator, OutOfMemoryError
+
+
+def fragment(
+    allocator: BuddyAllocator,
+    target_index: float = 0.99,
+    order: int = 9,
+    fill_fraction: float = 0.95,
+    seed: int = 0,
+) -> float:
+    """Fragment free memory until ``fragmentation_index(order)`` >= target.
+
+    Fills ``fill_fraction`` of memory with single frames, then frees a
+    random half of them so free memory consists of isolated frames.
+    Returns the achieved index.
+    """
+    rng = random.Random(seed)
+    held: List[int] = []
+    # Fill *all* of free memory with pinned single frames: any surviving
+    # high-order free block keeps the index at 0.
+    try:
+        while True:
+            held.append(allocator.alloc_pages(0, movable=False))
+    except OutOfMemoryError:
+        pass
+    # Free scattered frames until (1 - fill_fraction) of memory is free
+    # again; freeing non-adjacent frames leaves only order-0 free blocks.
+    rng.shuffle(held)
+    to_free = int(allocator.total_frames * (1.0 - fill_fraction))
+    freed = 0
+    for frame in held:
+        if freed >= to_free and allocator.fragmentation_index(order) >= target_index:
+            break
+        allocator.free_pages(frame)
+        freed += 1
+    # keep the rest pinned so compaction cannot trivially undo the state
+    return allocator.fragmentation_index(order)

@@ -1,0 +1,44 @@
+"""Simulation engine: TLB filtering, walk replay, §5 performance model."""
+
+from repro.sim.calibration import CALIBRATION, EnvProfile, WorkloadProfile, profile
+from repro.sim.machine import (
+    ENVIRONMENTS,
+    NativeSimulation,
+    NestedSimulation,
+    SimConfig,
+    VirtSimulation,
+)
+from repro.sim.multiproc import MultiProcessSimulation, MultiProcessStats
+from repro.sim.perfmodel import AppliedModel, apply_model, baseline_times, model_from_stats
+from repro.sim.simulator import (
+    TLBFilterResult,
+    WalkStats,
+    geomean,
+    make_size_lookup,
+    replay_walks,
+    tlb_filter,
+)
+
+__all__ = [
+    "CALIBRATION",
+    "EnvProfile",
+    "WorkloadProfile",
+    "profile",
+    "ENVIRONMENTS",
+    "NativeSimulation",
+    "NestedSimulation",
+    "SimConfig",
+    "VirtSimulation",
+    "MultiProcessSimulation",
+    "MultiProcessStats",
+    "AppliedModel",
+    "apply_model",
+    "baseline_times",
+    "model_from_stats",
+    "TLBFilterResult",
+    "WalkStats",
+    "geomean",
+    "make_size_lookup",
+    "replay_walks",
+    "tlb_filter",
+]

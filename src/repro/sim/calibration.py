@@ -1,0 +1,118 @@
+"""Measured-baseline calibration data for the §5 performance model.
+
+The paper's model is
+
+    T_target = O_measured_vanilla * (O_sim_target / O_sim_vanilla) + T_ideal
+
+where ``O_measured_vanilla`` (baseline page-walk overhead) and ``T_ideal``
+(execution time under a perfect TLB) come from Perf measurements on a real
+Xeon Gold 6138. We have no such machine, so this module ships the
+*measured inputs* as a calibration table synthesized from the numbers the
+paper itself reports (DESIGN.md §2):
+
+* average page-walk overhead of 21% native / 43% virtualized /
+  48% nested, 28% under shadow paging (§2.2);
+* virtualization slows execution 1.46x, nested virtualization 4.13x
+  (13.9x for GUPS — Figure 4), shadow paging 1.39x over nested paging;
+* with THP the walk overheads drop (the paper's app-level speedups of
+  1.20x @1.58x walk speedup without THP and 1.14x @1.65x with THP pin the
+  effective walk fractions near 43% and 31%).
+
+Per-workload variation follows each benchmark's translation intensity
+(GUPS most walk-bound; Graph500/Canneal cache-friendlier), normalized so
+the geometric means match the paper's aggregates. Everything downstream
+(Figures 4, 14, 15, 17) consumes only this table plus *simulated* walk
+overheads, exactly like the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Arbitrary absolute scale: ideal (perfect-TLB) native execution time.
+#: Only ratios matter anywhere downstream.
+IDEAL_SECONDS = 1000.0
+
+
+@dataclass(frozen=True)
+class EnvProfile:
+    """Measured fractions for one (workload, environment) pair.
+
+    ``pw_frac``: page-table-walk share of total execution time.
+    ``other_frac``: non-walk virtualization overhead share of total time —
+    VM exits for shadow-paging synchronization (zero for native and for
+    hardware-assisted nested paging).
+    """
+
+    pw_frac: float
+    pw_frac_thp: float
+    other_frac: float = 0.0
+    other_frac_thp: float = 0.0
+
+    def total_seconds(self, ideal: float = IDEAL_SECONDS, thp: bool = False) -> float:
+        pw = self.pw_frac_thp if thp else self.pw_frac
+        other = self.other_frac_thp if thp else self.other_frac
+        busy = 1.0 - pw - other
+        if busy <= 0:
+            raise ValueError("overhead fractions exceed 100% of execution")
+        return ideal / busy
+
+    def pw_seconds(self, ideal: float = IDEAL_SECONDS, thp: bool = False) -> float:
+        pw = self.pw_frac_thp if thp else self.pw_frac
+        return self.total_seconds(ideal, thp) * pw
+
+    def other_seconds(self, ideal: float = IDEAL_SECONDS, thp: bool = False) -> float:
+        other = self.other_frac_thp if thp else self.other_frac
+        return self.total_seconds(ideal, thp) * other
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """All four measured environments for one workload (Figure 4)."""
+
+    native: EnvProfile
+    virt_npt: EnvProfile
+    virt_spt: EnvProfile
+    nested: EnvProfile
+
+    def env(self, name: str) -> EnvProfile:
+        return {
+            "native": self.native,
+            "virt_npt": self.virt_npt,
+            "virt_spt": self.virt_spt,
+            "nested": self.nested,
+        }[name]
+
+
+def _profile(native_pw, virt_pw, spt_pw, spt_other, nested_pw, nested_other):
+    """Build a WorkloadProfile; THP variants scale the walk share down."""
+    return WorkloadProfile(
+        native=EnvProfile(native_pw, native_pw * 0.70),
+        virt_npt=EnvProfile(virt_pw, virt_pw * 0.72),
+        virt_spt=EnvProfile(spt_pw, spt_pw * 0.75, spt_other, spt_other * 0.9),
+        nested=EnvProfile(nested_pw, nested_pw * 0.73,
+                          nested_other, nested_other * 0.8),
+    )
+
+
+#: The calibration table. Columns: native pw, virt-nPT pw, virt-sPT pw,
+#: virt-sPT exit overhead, nested pw, nested shadow-sync overhead — all as
+#: fractions of that environment's total execution time.
+CALIBRATION: Dict[str, WorkloadProfile] = {
+    # GUPS: pure random access, the most translation-bound workload; its
+    # nested slowdown is the paper's 13.9x outlier.
+    "GUPS": _profile(0.33, 0.55, 0.36, 0.38, 0.58, 0.372),
+    "Redis": _profile(0.27, 0.50, 0.33, 0.30, 0.52, 0.30),
+    "BTree": _profile(0.26, 0.48, 0.31, 0.29, 0.50, 0.27),
+    "XSBench": _profile(0.19, 0.40, 0.26, 0.27, 0.45, 0.24),
+    "Memcached": _profile(0.20, 0.40, 0.26, 0.25, 0.45, 0.22),
+    "Canneal": _profile(0.16, 0.38, 0.25, 0.26, 0.42, 0.22),
+    "Graph500": _profile(0.12, 0.30, 0.20, 0.28, 0.42, 0.24),
+}
+
+
+def profile(workload: str) -> WorkloadProfile:
+    if workload not in CALIBRATION:
+        raise KeyError(f"no calibration for workload {workload!r}")
+    return CALIBRATION[workload]

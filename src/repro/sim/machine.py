@@ -1,0 +1,469 @@
+"""Simulated-machine assembly for the three evaluation environments.
+
+One simulation instance builds the full substrate for a (workload,
+environment, page-size mode) triple — kernels, hypervisors, DMT-Linux,
+the workload's address space, and the mirrored ECPT/FPT structures — runs
+the TLB filter once, and can then replay the identical miss stream
+through any design's walker. Sharing one machine across designs is
+faithful to the paper: DMT's TEA placement serves the vanilla radix
+walker too (same PTEs, §3), and ECPT/FPT maintain their own tables
+alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.arch import PAGE_SHIFT, PageSize
+from repro.core.costs import Environment as MgmtEnv
+from repro.core.dmt_os import DMTLinux
+from repro.core.paravirt import PvDMTHost, PvTEAAllocator
+from repro.core.registers import RegisterSet
+from repro.hw.config import MachineConfig, xeon_gold_6138
+from repro.kernel.kernel import Kernel
+from repro.sim.simulator import (
+    TLBFilterResult,
+    WalkStats,
+    make_size_lookup,
+    replay_walks,
+    tlb_accept_rates,
+    tlb_filter,
+)
+from repro.translation.agile import AgilePagingWalker
+from repro.translation.asap import ASAPNativeWalker, ASAPNestedWalker
+from repro.translation.base import MemorySubsystem, Walker
+from repro.translation.dmt import (
+    DMTNativeWalker,
+    DMTVirtWalker,
+    PvDMTNestedWalker,
+    PvDMTVirtWalker,
+    machine_reader,
+)
+from repro.translation.ecpt import (
+    ECPTNativeWalker,
+    ECPTNestedWalker,
+    ElasticCuckooPageTables,
+)
+from repro.translation.fpt import (
+    FlattenedPageTable,
+    FPTNativeWalker,
+    FPTNestedWalker,
+)
+from repro.translation.radix import (
+    NativeRadixWalker,
+    NestedRadixWalker,
+    ShadowWalker,
+)
+from repro.virt.hypervisor import Hypervisor, VM
+from repro.virt.nested import NestedSetup
+from repro.virt.shadow import ShadowPager
+from repro.workloads import generators
+
+_MB = 1 << 20
+
+
+def _page_align(nbytes: int) -> int:
+    return (nbytes + 0xFFF) & ~0xFFF
+
+
+@dataclass
+class SimConfig:
+    """Knobs for one simulation run."""
+
+    scale: int = 512          # working-set divisor vs. the paper (DESIGN §2)
+    nrefs: int = 60_000       # trace length
+    seed: int = 0
+    thp: bool = False
+    #: radix tree depth: 4 (default) or 5 (§2.1.1's 5-level extension —
+    #: nested walks grow to 35 references; DMT stays at 1/2/3)
+    levels: int = 4
+    machine: MachineConfig = field(default_factory=xeon_gold_6138)
+    warmup_fraction: float = 0.1
+    record_refs: bool = False
+    register_count: int = 16
+    bubble_threshold: float = 0.02
+    #: Thin TLB/PWC hit rates back to paper scale (DESIGN.md §5). Without
+    #: this, the fixed-reach MMU caches cover the entire scaled-down
+    #: working set and every design collapses to one memory reference.
+    scale_mmu_caches: bool = True
+
+    def small(self, nrefs: int = 8_000, scale: int = 4096) -> "SimConfig":
+        """A reduced copy for fast tests."""
+        return SimConfig(scale=scale, nrefs=nrefs, seed=self.seed,
+                         thp=self.thp, levels=self.levels, machine=self.machine,
+                         warmup_fraction=self.warmup_fraction,
+                         record_refs=self.record_refs,
+                         register_count=self.register_count,
+                         bubble_threshold=self.bubble_threshold)
+
+
+class _SimulationBase:
+    """Shared stage-1 plumbing."""
+
+    designs: tuple = ()
+
+    def __init__(self, workload_name: str, config: SimConfig):
+        self.config = config
+        self.workload = generators.get(workload_name, config.scale)
+        self._stats_cache: Dict[str, WalkStats] = {}
+
+    def _memsys(self) -> MemorySubsystem:
+        ws = paper_ws = None
+        if self.config.scale_mmu_caches:
+            ws = self.workload.working_set_bytes()
+            paper_ws = int(self.workload.paper_working_set_gb * (1 << 30))
+        return MemorySubsystem(
+            self.config.machine,
+            levels=self.config.levels,
+            record_refs=self.config.record_refs,
+            ws_bytes=ws,
+            paper_ws_bytes=paper_ws,
+        )
+
+    def walker(self, design: str) -> Walker:
+        raise NotImplementedError
+
+    def run(self, design: str, collect_steps: bool = False) -> WalkStats:
+        """Replay the miss stream through one design (cached per design)."""
+        key = f"{design}:{collect_steps}"
+        if key not in self._stats_cache:
+            walker = self.walker(design)
+            self._stats_cache[key] = replay_walks(
+                walker,
+                self.tlb.miss_vas,
+                warmup_fraction=self.config.warmup_fraction,
+                collect_steps=collect_steps,
+            )
+        return self._stats_cache[key]
+
+    def _trace_and_filter(self, process, layout) -> TLBFilterResult:
+        trace = self.workload.generate_trace(layout, self.config.nrefs,
+                                             self.config.seed)
+        accept = None
+        if self.config.scale_mmu_caches:
+            ws = self.workload.working_set_bytes()
+            paper_ws = int(self.workload.paper_working_set_gb * (1 << 30))
+            if ws < paper_ws:
+                accept = tlb_accept_rates(self.config.machine, ws, paper_ws)
+        return tlb_filter(trace, self.config.machine,
+                          make_size_lookup(process.page_table),
+                          accept_rates=accept)
+
+
+class NativeSimulation(_SimulationBase):
+    """Bare-metal environment (Figure 14)."""
+
+    designs = ("vanilla", "fpt", "ecpt", "asap", "dmt")
+
+    def __init__(self, workload_name: str, config: Optional[SimConfig] = None):
+        super().__init__(workload_name, config or SimConfig())
+        ws = self.workload.working_set_bytes()
+        mem_bytes = _page_align(ws * 2 + 256 * _MB)
+        self.kernel = Kernel(memory_bytes=mem_bytes, thp_enabled=self.config.thp,
+                             levels=self.config.levels)
+        self.dmt = DMTLinux(
+            self.kernel,
+            register_count=self.config.register_count,
+            bubble_threshold=self.config.bubble_threshold,
+        )
+        self.process = self.kernel.create_process(self.workload.name)
+        self.layout = self.workload.install(self.process)
+        self.dmt.reload_registers(self.process)
+        self.tlb = self._trace_and_filter(self.process, self.layout)
+        self._ecpt: Optional[ElasticCuckooPageTables] = None
+        self._fpt: Optional[FlattenedPageTable] = None
+
+    # lazily built mirrors ------------------------------------------------ #
+
+    def ecpt(self) -> ElasticCuckooPageTables:
+        if self._ecpt is None:
+            self._ecpt = ElasticCuckooPageTables(self.kernel.memory)
+            self._ecpt.load_from_radix(self.process.page_table)
+        return self._ecpt
+
+    def fpt(self) -> FlattenedPageTable:
+        if self._fpt is None:
+            self._fpt = FlattenedPageTable(self.kernel.memory)
+            self._fpt.load_from_radix(self.process.page_table)
+        return self._fpt
+
+    def walker(self, design: str) -> Walker:
+        memsys = self._memsys()
+        if design == "vanilla":
+            return NativeRadixWalker(self.process.page_table, memsys)
+        if design == "fpt":
+            return FPTNativeWalker(self.fpt(), memsys, probe_huge=self.config.thp)
+        if design == "ecpt":
+            return ECPTNativeWalker(self.ecpt(), memsys)
+        if design == "asap":
+            return ASAPNativeWalker(self.process.page_table, memsys)
+        if design == "dmt":
+            self.dmt.reload_registers(self.process)
+            fallback = NativeRadixWalker(self.process.page_table, memsys)
+            return DMTNativeWalker(self.dmt.register_file, fallback, memsys,
+                                   self.kernel.memory.read_word)
+        raise KeyError(f"unknown native design {design!r}")
+
+
+class VirtSimulation(_SimulationBase):
+    """Single-level virtualization (Figure 15)."""
+
+    designs = ("vanilla", "shadow", "fpt", "ecpt", "agile", "asap",
+               "dmt", "pvdmt")
+
+    def __init__(self, workload_name: str, config: Optional[SimConfig] = None):
+        super().__init__(workload_name, config or SimConfig())
+        cfg = self.config
+        ws = self.workload.working_set_bytes()
+        guest_bytes = _page_align(int(ws * 1.3) + 128 * _MB)
+        host_bytes = _page_align(guest_bytes + ws + 384 * _MB)
+
+        self.host_kernel = Kernel(memory_bytes=host_bytes, thp_enabled=cfg.thp,
+                                  levels=cfg.levels)
+        self.host_dmt = DMTLinux(
+            self.host_kernel, register_set=RegisterSet.NATIVE,
+            register_count=cfg.register_count,
+            bubble_threshold=cfg.bubble_threshold,
+        )
+        self.hypervisor = Hypervisor(self.host_kernel)
+        self.vm = self.hypervisor.create_vm(guest_bytes, thp_enabled=cfg.thp,
+                                            levels=cfg.levels)
+        self.host_dmt.attach_ept(self.vm, host_thp=cfg.thp)
+
+        # pvDMT plumbing: guest TEAs come from the host via hypercall.
+        self.pv_host = PvDMTHost(self.vm, ledger=self.host_dmt.ledger)
+        self.pv_alloc = PvTEAAllocator(self.pv_host)
+        self.guest_dmt = DMTLinux(
+            self.vm.guest_kernel, register_set=RegisterSet.GUEST,
+            register_file=self.host_dmt.register_file,
+            environment=MgmtEnv.VIRTUALIZED,
+            register_count=cfg.register_count,
+            bubble_threshold=cfg.bubble_threshold,
+            tea_allocator=self.pv_alloc,
+        )
+
+        self.process = self.vm.guest_kernel.create_process(self.workload.name)
+        self.layout = self.workload.install(self.process)
+
+        # Back the whole guest-physical space (pre-touched VM memory), with
+        # 2 MB host pages when host THP is on.
+        self.vm.back_range(
+            0, guest_bytes,
+            PageSize.SIZE_2M if cfg.thp else PageSize.SIZE_4K,
+        )
+        self.guest_dmt.reload_registers(self.process)
+        self.host_dmt.register_file.load(
+            RegisterSet.NATIVE, self.host_dmt.host_registers_for_vm(self.vm)
+        )
+
+        self.read_machine = machine_reader(self.host_kernel.memory, [self.vm])
+        self.tlb = self._trace_and_filter(self.process, self.layout)
+        self._shadow: Optional[ShadowPager] = None
+        self._guest_ecpt: Optional[ElasticCuckooPageTables] = None
+        self._host_ecpt: Optional[ElasticCuckooPageTables] = None
+        self._guest_fpt: Optional[FlattenedPageTable] = None
+        self._host_fpt: Optional[FlattenedPageTable] = None
+
+    # lazily built mirrors ------------------------------------------------ #
+
+    def shadow(self) -> ShadowPager:
+        if self._shadow is None:
+            self._shadow = ShadowPager(self.vm, self.process)
+            self._shadow.sync()
+        return self._shadow
+
+    def guest_ecpt(self) -> ElasticCuckooPageTables:
+        if self._guest_ecpt is None:
+            self._guest_ecpt = ElasticCuckooPageTables(self.vm.guest_memory)
+            self._guest_ecpt.load_from_radix(self.process.page_table)
+            # ensure the new guest table pages are host-backed
+            self.vm.back_range(0, self.vm.memory_bytes)
+            self._host_ecpt = None  # host view must include the new pages
+        return self._guest_ecpt
+
+    def host_ecpt(self) -> ElasticCuckooPageTables:
+        if self._host_ecpt is None:
+            self._host_ecpt = ElasticCuckooPageTables(self.host_kernel.memory)
+            self._host_ecpt.load_from_radix(self.vm.ept)
+        return self._host_ecpt
+
+    def guest_fpt(self) -> FlattenedPageTable:
+        if self._guest_fpt is None:
+            self._guest_fpt = FlattenedPageTable(self.vm.guest_memory)
+            self._guest_fpt.load_from_radix(self.process.page_table)
+            self.vm.back_range(0, self.vm.memory_bytes)
+            self._host_fpt = None
+        return self._guest_fpt
+
+    def host_fpt(self) -> FlattenedPageTable:
+        if self._host_fpt is None:
+            self._host_fpt = FlattenedPageTable(self.host_kernel.memory)
+            self._host_fpt.load_from_radix(self.vm.ept)
+        return self._host_fpt
+
+    # walkers -------------------------------------------------------------- #
+
+    def walker(self, design: str) -> Walker:
+        memsys = self._memsys()
+        if design == "vanilla":
+            return NestedRadixWalker(self.process.page_table, self.vm, memsys)
+        if design == "shadow":
+            return ShadowWalker(self.shadow().spt, memsys)
+        if design == "fpt":
+            guest = self.guest_fpt()
+            return FPTNestedWalker(guest, self.host_fpt(), self.vm, memsys,
+                                   probe_huge=self.config.thp)
+        if design == "ecpt":
+            guest = self.guest_ecpt()
+            return ECPTNestedWalker(guest, self.host_ecpt(), self.vm, memsys)
+        if design == "agile":
+            return AgilePagingWalker(self.process.page_table,
+                                     self.shadow().spt, self.vm, memsys)
+        if design == "asap":
+            return ASAPNestedWalker(self.process.page_table, self.vm, memsys)
+        if design == "dmt":
+            self.guest_dmt.reload_registers(self.process)
+            fallback = NestedRadixWalker(self.process.page_table, self.vm,
+                                         memsys)
+            return DMTVirtWalker(self.host_dmt.register_file, fallback,
+                                 memsys, self.read_machine)
+        if design == "pvdmt":
+            self.guest_dmt.reload_registers(self.process)
+            fallback = NestedRadixWalker(self.process.page_table, self.vm,
+                                         memsys)
+            return PvDMTVirtWalker(self.host_dmt.register_file,
+                                   self.pv_host.gtea_table, fallback, memsys,
+                                   self.read_machine)
+        raise KeyError(f"unknown virtualized design {design!r}")
+
+
+class _L2ShadowAdapter:
+    """Presents the nested shadow table as the 'host table' of a 2D walk.
+
+    Vanilla nested KVM translates L2VA with a 2D walk over the L2 page
+    table and the L0-maintained sPT (L2PA -> L0PA) — see §2.1.3.
+    """
+
+    def __init__(self, nested: NestedSetup):
+        self.nested = nested
+        self.ept = nested.shadow.spt
+
+    def gpa_to_hpa(self, l2pa: int) -> int:
+        translated = self.ept.translate(l2pa)
+        if translated is not None:
+            return translated[0]
+        # lazily extend the shadow for newly backed pages
+        l0pa = self.nested.l2pa_to_l0pa(l2pa)
+        self.ept.map((l2pa >> PAGE_SHIFT) << PAGE_SHIFT,
+                     l0pa >> PAGE_SHIFT, PageSize.SIZE_4K)
+        return l0pa
+
+
+class NestedSimulation(_SimulationBase):
+    """Nested virtualization (Figure 17)."""
+
+    designs = ("vanilla", "pvdmt")
+
+    def __init__(self, workload_name: str, config: Optional[SimConfig] = None):
+        super().__init__(workload_name, config or SimConfig())
+        cfg = self.config
+        ws = self.workload.working_set_bytes()
+        l2_bytes = _page_align(int(ws * 1.3) + 128 * _MB)
+        l1_bytes = _page_align(l2_bytes + ws // 2 + 256 * _MB)
+        l0_bytes = _page_align(l1_bytes + ws + 512 * _MB)
+
+        self.host_kernel = Kernel(memory_bytes=l0_bytes, thp_enabled=cfg.thp,
+                                  levels=cfg.levels)
+        self.l0_dmt = DMTLinux(
+            self.host_kernel, register_set=RegisterSet.NATIVE,
+            register_count=cfg.register_count,
+        )
+        self.nested = NestedSetup(self.host_kernel, l1_bytes, l2_bytes,
+                                  thp_enabled=cfg.thp, levels=cfg.levels)
+        l1_vm, l2_vm = self.nested.l1_vm, self.nested.l2_vm
+
+        # L0 manages L1's EPT leaves in L0 TEAs (hVMA-to-hTEA).
+        self.l0_dmt.attach_ept(l1_vm, host_thp=cfg.thp)
+
+        # L1 manages L2's host table (the L1PT) with TEAs obtained from L0
+        # via the cascaded hypercall (§4.5.3).
+        self.pv_l1_host = PvDMTHost(l1_vm, nested=False)
+        self.pv_l1_alloc = PvTEAAllocator(self.pv_l1_host)
+        self.l1_dmt = DMTLinux(
+            l1_vm.guest_kernel, register_set=RegisterSet.GUEST,
+            register_file=self.l0_dmt.register_file,
+            environment=MgmtEnv.VIRTUALIZED,
+            register_count=cfg.register_count,
+            tea_allocator=self.pv_l1_alloc,
+        )
+        self.l1_dmt.attach_ept(l2_vm, host_thp=cfg.thp)
+
+        # L2's own TEAs: allocated through L1, which forwards to L0.
+        self.pv_l2_host = PvDMTHost(l2_vm, upstream=self.pv_l1_alloc,
+                                    nested=True)
+        self.pv_l2_alloc = PvTEAAllocator(self.pv_l2_host)
+        self.l2_dmt = DMTLinux(
+            l2_vm.guest_kernel, register_set=RegisterSet.NESTED,
+            register_file=self.l0_dmt.register_file,
+            environment=MgmtEnv.NESTED,
+            register_count=cfg.register_count,
+            tea_allocator=self.pv_l2_alloc,
+        )
+
+        self.process = l2_vm.guest_kernel.create_process(self.workload.name)
+        self.layout = self.workload.install(self.process)
+
+        size = PageSize.SIZE_2M if cfg.thp else PageSize.SIZE_4K
+        l2_vm.back_range(0, l2_bytes, size)
+        l1_vm.back_range(0, l1_bytes, size)
+
+        self.l2_dmt.reload_registers(self.process)
+        self._load_l1_registers()
+        self.l0_dmt.register_file.load(
+            RegisterSet.NATIVE, self.l0_dmt.host_registers_for_vm(l1_vm)
+        )
+
+        self.nested.enable_shadow()
+        self.nested.shadow.sync()
+        self.read_machine = machine_reader(self.host_kernel.memory,
+                                           [l1_vm, l2_vm])
+        self.tlb = self._trace_and_filter(self.process, self.layout)
+
+    def _load_l1_registers(self) -> None:
+        manager = self.l1_dmt.ept_mappings[self.nested.l2_vm.vm_id]
+        manager.run_migrations()
+        gtea_ids = {
+            tea.tea_id: self.pv_l1_alloc.gtea_id_for(tea.base_frame)
+            for cluster in manager.clusters
+            for tea in cluster.all_teas()
+        }
+        self.l0_dmt.register_file.load(
+            RegisterSet.GUEST, manager.build_registers(gtea_ids)
+        )
+
+    def walker(self, design: str) -> Walker:
+        memsys = self._memsys()
+        if design == "vanilla":
+            adapter = _L2ShadowAdapter(self.nested)
+            return NestedRadixWalker(self.process.page_table, adapter, memsys)
+        if design == "pvdmt":
+            self.l2_dmt.reload_registers(self.process)
+            self._load_l1_registers()
+            adapter = _L2ShadowAdapter(self.nested)
+            fallback = NestedRadixWalker(self.process.page_table, adapter,
+                                         memsys)
+            return PvDMTNestedWalker(
+                self.l0_dmt.register_file,
+                self.pv_l2_host.gtea_table,
+                self.pv_l1_host.gtea_table,
+                fallback, memsys, self.read_machine,
+            )
+        raise KeyError(f"unknown nested design {design!r}")
+
+
+ENVIRONMENTS = {
+    "native": NativeSimulation,
+    "virt": VirtSimulation,
+    "nested": NestedSimulation,
+}

@@ -1,0 +1,114 @@
+"""The §5 performance model.
+
+    T_target = O_measured_vanilla * (O_sim_target / O_sim_vanilla) + T_ideal
+
+Measured inputs come from :mod:`repro.sim.calibration`; simulated walk
+overheads come from :mod:`repro.sim.simulator` replays. The model also
+handles the non-walk overheads the paper treats specially:
+
+* shadow paging's VM-exit overhead (``other_frac``), removed by designs
+  that eliminate shadow paging (pvDMT in nested virtualization, §5) and
+  partially retained by Agile Paging;
+* nested virtualization's shadow-sync overhead estimated by scaling the
+  single-level measurement by the VM-exit ratio (§5) — already folded
+  into the calibration table's nested ``other_frac``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.calibration import EnvProfile, profile
+from repro.sim.simulator import WalkStats
+
+
+@dataclass(frozen=True)
+class AppliedModel:
+    """Model outputs for one (workload, environment, design)."""
+
+    workload: str
+    environment: str
+    design: str
+    t_vanilla: float        # baseline execution time (seconds)
+    t_target: float         # modeled execution time under the design
+    pw_speedup: float       # O_sim_vanilla / O_sim_target
+    app_speedup: float      # t_vanilla / t_target
+
+
+def _fractions(env: EnvProfile, thp: bool):
+    total = env.total_seconds(thp=thp)
+    return total, env.pw_seconds(thp=thp), env.other_seconds(thp=thp)
+
+
+def apply_model(
+    workload: str,
+    environment: str,
+    design: str,
+    o_sim_vanilla: float,
+    o_sim_target: float,
+    thp: bool = False,
+    retained_other_fraction: float = 1.0,
+) -> AppliedModel:
+    """Model T_target for a design against its environment's baseline.
+
+    ``o_sim_*`` are the simulated translation-overhead totals (cycles) of
+    the environment's vanilla design and of the target design over the
+    same miss stream. ``retained_other_fraction`` scales the baseline's
+    non-walk virtualization overhead (1.0 keeps it — hardware-assisted
+    nested paging baselines have none anyway; 0.0 removes it — pvDMT
+    eliminating shadow paging; Agile Paging retains a small fraction).
+    """
+    env = profile(workload).env(environment)
+    t_vanilla, o_measured, other_measured = _fractions(env, thp)
+    t_ideal = t_vanilla - o_measured - other_measured
+    ratio = o_sim_target / o_sim_vanilla if o_sim_vanilla else 1.0
+    t_target = (
+        o_measured * ratio
+        + t_ideal
+        + other_measured * retained_other_fraction
+    )
+    pw_speedup = 1.0 / ratio if ratio else float("inf")
+    return AppliedModel(
+        workload=workload,
+        environment=environment,
+        design=design,
+        t_vanilla=t_vanilla,
+        t_target=t_target,
+        pw_speedup=pw_speedup,
+        app_speedup=t_vanilla / t_target,
+    )
+
+
+def model_from_stats(
+    workload: str,
+    environment: str,
+    vanilla: WalkStats,
+    target: WalkStats,
+    thp: bool = False,
+    retained_other_fraction: float = 1.0,
+) -> AppliedModel:
+    return apply_model(
+        workload,
+        environment,
+        target.design,
+        o_sim_vanilla=vanilla.overhead_cycles(),
+        o_sim_target=target.overhead_cycles(),
+        thp=thp,
+        retained_other_fraction=retained_other_fraction,
+    )
+
+
+def baseline_times(workload: str, thp: bool = False) -> Dict[str, Dict[str, float]]:
+    """Figure 4 inputs: measured total time + walk share per environment.
+
+    Returns {environment: {"total": seconds, "pw": seconds}} with the
+    native total as the normalization unit.
+    """
+    prof = profile(workload)
+    out: Dict[str, Dict[str, float]] = {}
+    for env_name in ("native", "virt_npt", "virt_spt", "nested"):
+        env = prof.env(env_name)
+        total, pw, other = _fractions(env, thp)
+        out[env_name] = {"total": total, "pw": pw, "other": other}
+    return out

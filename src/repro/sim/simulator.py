@@ -1,0 +1,177 @@
+"""Trace-driven simulation: TLB filtering + per-design walk replay.
+
+Stage 1 runs a workload's address trace through the two-level TLB
+hierarchy once, producing the stream of TLB-miss addresses (with the page
+size each translation would install). Stage 2 replays that *same* miss
+stream through each translation design's walker, so designs are compared
+on identical inputs — the structure of the paper's DynamoRIO methodology
+(§5) at simulation scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.arch import PageSize
+from repro.hw.config import MachineConfig
+from repro.hw.tlb import TLBHierarchy
+from repro.translation.base import Walker
+
+SizeLookup = Callable[[int], PageSize]
+
+
+@dataclass
+class TLBFilterResult:
+    """Stage-1 output: which references missed the TLB hierarchy."""
+
+    miss_vas: List[int]
+    total_refs: int
+
+    @property
+    def miss_count(self) -> int:
+        return len(self.miss_vas)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.miss_count / self.total_refs if self.total_refs else 0.0
+
+
+def make_size_lookup(page_table) -> SizeLookup:
+    """Page size of the translation covering a VA (memoized per 2 MB unit).
+
+    The TLB needs the installed translation's page size; under THP a VMA
+    mixes 4 KB and 2 MB pages. Page size is uniform within a 2 MB region
+    in this simulator, so memoization is exact.
+    """
+    cache: Dict[int, PageSize] = {}
+
+    def lookup(va: int) -> PageSize:
+        key = va >> 21
+        size = cache.get(key)
+        if size is None:
+            found = page_table.lookup(va)
+            size = found[2] if found is not None else PageSize.SIZE_4K
+            cache[key] = size
+        return size
+
+    return lookup
+
+
+def tlb_accept_rates(machine: MachineConfig, ws_bytes: int,
+                     paper_ws_bytes: int) -> Dict[PageSize, float]:
+    """Per-page-size TLB hit-acceptance rates for a scaled working set.
+
+    A TLB entry of page size ``p`` covers ``entries * p`` bytes; its raw
+    hit rate against a working set is roughly min(1, reach/ws). The
+    acceptance rate restores the paper-scale hit rate (DESIGN.md §5).
+    """
+    entries = machine.l2_stlb.entries
+    rates = {}
+    for size in PageSize:
+        reach = entries * size.bytes
+        paper_hit = min(1.0, reach / paper_ws_bytes)
+        sim_hit = min(1.0, reach / ws_bytes)
+        rates[size] = paper_hit / sim_hit if sim_hit else 1.0
+    return rates
+
+
+def tlb_filter(
+    trace: np.ndarray,
+    machine: MachineConfig,
+    size_lookup: SizeLookup,
+    asid: int = 1,
+    accept_rates: Optional[Dict[PageSize, float]] = None,
+) -> TLBFilterResult:
+    """Run stage 1: return the TLB-miss address stream."""
+    tlbs = TLBHierarchy.from_machine(machine, accept_rates)
+    misses: List[int] = []
+    lookup = tlbs.lookup
+    fill = tlbs.fill
+    for va in trace.tolist():
+        size = size_lookup(va)
+        if not lookup(asid, va, size):
+            misses.append(va)
+            fill(asid, va, size)
+    return TLBFilterResult(misses, len(trace))
+
+
+@dataclass
+class WalkStats:
+    """Stage-2 output for one design."""
+
+    design: str
+    walks: int = 0
+    total_cycles: int = 0
+    fallbacks: int = 0
+    ref_count: int = 0
+    #: per-position mean breakdown for Figure 16 (tag -> [sum, count])
+    step_cycles: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_cycles / self.walks if self.walks else 0.0
+
+    @property
+    def fallback_rate(self) -> float:
+        return self.fallbacks / self.walks if self.walks else 0.0
+
+    def overhead_cycles(self) -> int:
+        """Total translation overhead O_sim of §5's model."""
+        return self.total_cycles
+
+    def step_breakdown(self) -> Dict[str, float]:
+        """Mean cycles per step tag (only populated with record_refs)."""
+        return {
+            tag: total / count
+            for tag, (total, count) in self.step_cycles.items()
+        }
+
+
+def replay_walks(
+    walker: Walker,
+    miss_vas: List[int],
+    warmup_fraction: float = 0.1,
+    collect_steps: bool = False,
+) -> WalkStats:
+    """Run stage 2: replay the miss stream through one design.
+
+    The first ``warmup_fraction`` of misses warm the PTE caches/PWCs and
+    are excluded from the statistics (the paper's simulator similarly
+    measures steady state over multi-billion-instruction traces).
+    """
+    stats = WalkStats(design=walker.name)
+    warmup = int(len(miss_vas) * warmup_fraction)
+    for index, va in enumerate(miss_vas):
+        result = walker.translate(va)
+        if index < warmup:
+            continue
+        stats.walks += 1
+        stats.total_cycles += result.cycles
+        stats.ref_count += len(result.refs)
+        if result.fallback:
+            stats.fallbacks += 1
+        if collect_steps and result.refs:
+            # collapse parallel groups: one logical step per group
+            seen_groups: Dict[int, str] = {}
+            position = 0
+            for ref in result.refs:
+                if ref.group >= 0:
+                    if ref.group in seen_groups:
+                        continue
+                    seen_groups[ref.group] = ref.tag
+                position += 1
+                key = f"{position:02d}:{ref.tag}"
+                bucket = stats.step_cycles.setdefault(key, [0.0, 0])
+                bucket[0] += ref.latency
+                bucket[1] += 1
+    return stats
+
+
+def geomean(values: List[float]) -> float:
+    arr = np.asarray([v for v in values if v > 0], dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,60 @@
+"""Translation designs: the x86 baselines, DMT/pvDMT, and prior work."""
+
+from repro.translation.agile import AgilePagingWalker
+from repro.translation.asap import ASAPNativeWalker, ASAPNestedWalker
+from repro.translation.base import (
+    MemorySubsystem,
+    MemRef,
+    Walker,
+    WalkRecorder,
+    WalkResult,
+)
+from repro.translation.dmt import (
+    DMTNativeWalker,
+    DMTVirtWalker,
+    PvDMTNestedWalker,
+    PvDMTVirtWalker,
+    machine_reader,
+)
+from repro.translation.ecpt import (
+    CuckooTable,
+    ECPTNativeWalker,
+    ECPTNestedWalker,
+    ElasticCuckooPageTables,
+)
+from repro.translation.fpt import (
+    FlattenedPageTable,
+    FPTNativeWalker,
+    FPTNestedWalker,
+)
+from repro.translation.radix import (
+    NativeRadixWalker,
+    NestedRadixWalker,
+    ShadowWalker,
+)
+
+__all__ = [
+    "AgilePagingWalker",
+    "ASAPNativeWalker",
+    "ASAPNestedWalker",
+    "MemorySubsystem",
+    "MemRef",
+    "Walker",
+    "WalkRecorder",
+    "WalkResult",
+    "DMTNativeWalker",
+    "DMTVirtWalker",
+    "PvDMTNestedWalker",
+    "PvDMTVirtWalker",
+    "machine_reader",
+    "CuckooTable",
+    "ECPTNativeWalker",
+    "ECPTNestedWalker",
+    "ElasticCuckooPageTables",
+    "FlattenedPageTable",
+    "FPTNativeWalker",
+    "FPTNestedWalker",
+    "NativeRadixWalker",
+    "NestedRadixWalker",
+    "ShadowWalker",
+]

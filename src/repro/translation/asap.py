@@ -1,0 +1,108 @@
+"""ASAP prefetched address translation — comparison design (§6.2.2).
+
+Margaritov et al. (MICRO'19) keep the x86 walk but *prefetch* the last two
+levels of PTEs as soon as the virtual address is known: their OS places
+page tables contiguously so leaf-PTE addresses are computable without
+walking (the same insight DMT builds on, §4.1).
+
+Model: the prefetch is issued at TLB-miss time and overlaps the walk's
+upper levels, so a translation costs
+
+    max(prefetch completion, upper-level walk) + the (now cached) leaf fetches.
+
+Virtualized, the prefetched addresses sit behind a host-translation
+dependency chain, so prefetch completion takes two chained accesses; the
+2D walk must still fetch every PTE sequentially — which is why pvDMT's
+two direct references beat it (§6.2.2): "despite L1 and L2 entries being
+prefetched, a translation still takes a two-dimensional walk".
+"""
+
+from __future__ import annotations
+
+
+from repro.kernel.page_table import RadixPageTable
+from repro.translation.base import MemorySubsystem, Walker, WalkResult
+from repro.translation.radix import NativeRadixWalker, NestedRadixWalker
+from repro.virt.hypervisor import VM
+
+#: Page-table levels whose entries ASAP prefetches (the last two).
+PREFETCH_LEVELS = (1, 2)
+
+
+class ASAPNativeWalker(Walker):
+    """Native ASAP: radix walk overlapped with an L2/L1 PTE prefetch."""
+
+    name = "asap-native"
+
+    def __init__(self, page_table: RadixPageTable, memsys: MemorySubsystem):
+        super().__init__(memsys)
+        self.page_table = page_table
+        self._walker = NativeRadixWalker(page_table, memsys)
+        self.prefetches = 0
+
+    def _prefetch(self, va: int) -> int:
+        """Issue the prefetches; returns their completion time (cycles).
+
+        Prefetches are independent of each other, so completion is the max
+        of the individual access latencies. The accesses go through the
+        shared PTE-side hierarchy, installing the lines.
+        """
+        completion = 0
+        for step in self.page_table.walk_steps(va):
+            if step.level in PREFETCH_LEVELS:
+                result = self.memsys.caches.access(step.pte_addr)
+                completion = max(completion, result.latency)
+                self.prefetches += 1
+        return completion
+
+    def translate(self, va: int) -> WalkResult:
+        prefetch_done = self._prefetch(va)
+        inner = self._walker.translate(va)
+        # The walk's upper levels ran concurrently with the prefetch; the
+        # prefetched (leaf) portion of the walk now hits the caches, which
+        # inner.cycles already reflects. Total time cannot be shorter than
+        # the prefetch itself (the leaf value arrives no earlier).
+        cycles = max(prefetch_done, inner.cycles)
+        result = WalkResult(va, cycles, inner.refs, inner.pa, inner.page_size)
+        return self.record(result)
+
+
+class ASAPNestedWalker(Walker):
+    """Virtualized ASAP: 2D walk overlapped with both dimensions' prefetch."""
+
+    name = "asap-nested"
+
+    #: Prefetched addresses sit behind a gPA->hPA resolution: completion
+    #: adds one dependent hop on top of the slowest prefetch access.
+    CHAIN_HOP_CYCLES = 14
+
+    def __init__(self, guest_pt: RadixPageTable, vm: VM, memsys: MemorySubsystem):
+        super().__init__(memsys)
+        self.guest_pt = guest_pt
+        self.vm = vm
+        self._walker = NestedRadixWalker(guest_pt, vm, memsys)
+        self.prefetches = 0
+
+    def _prefetch(self, gva: int) -> int:
+        worst = 0
+        for step in self.guest_pt.walk_steps(gva):
+            if step.level not in PREFETCH_LEVELS:
+                continue
+            host_addr = self.vm.gpa_to_hpa(step.pte_addr)
+            result = self.memsys.caches.access(host_addr)
+            worst = max(worst, result.latency)
+            self.prefetches += 1
+            # host-dimension leaf entries of the inner walk for this gPA
+            for ept_step in self.vm.ept.walk_steps(step.pte_addr):
+                if ept_step.level in PREFETCH_LEVELS:
+                    inner = self.memsys.caches.access(ept_step.pte_addr)
+                    worst = max(worst, inner.latency)
+                    self.prefetches += 1
+        return worst + self.CHAIN_HOP_CYCLES if worst else 0
+
+    def translate(self, gva: int) -> WalkResult:
+        prefetch_done = self._prefetch(gva)
+        inner = self._walker.translate(gva)
+        cycles = max(prefetch_done, inner.cycles)
+        result = WalkResult(gva, cycles, inner.refs, inner.pa, inner.page_size)
+        return self.record(result)

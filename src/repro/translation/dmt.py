@@ -1,0 +1,163 @@
+"""DMT and pvDMT walkers (§3, §4.5): the designs under evaluation.
+
+Each walker drives a :class:`~repro.core.fetcher.DMTFetcher` over the
+machine's register file and falls back to the corresponding x86 radix
+walker when no register covers the address or the mapping's P-bit is
+clear — exactly the hardware behaviour of Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.arch import PAGE_SHIFT, PAGE_SIZE
+from repro.core.fetcher import DMTFetcher, FetchResult
+from repro.core.paravirt import GTEATable
+from repro.core.registers import DMTRegisterFile
+from repro.mem.physmem import PhysicalMemory
+from repro.translation.base import MemorySubsystem, Walker, WalkRecorder, WalkResult
+from repro.virt.hypervisor import VM
+
+
+def machine_reader(host_memory: PhysicalMemory, vms: List[VM]) -> Callable[[int], int]:
+    """Build a host-physical-address word reader.
+
+    Guest memory is a separate storage domain in this simulator; given a
+    host-physical address, descend the VM chain's reverse EPT maps
+    (outermost first) to find the domain that owns the bytes. On real
+    hardware there is only one physical memory, so this is purely a
+    simulation artifact.
+    """
+
+    def read(addr: int) -> int:
+        frame = addr >> PAGE_SHIFT
+        offset = addr & (PAGE_SIZE - 1)
+        domain = host_memory
+        for vm in vms:
+            gfn = vm.reverse_lookup(frame)
+            if gfn is None:
+                break
+            domain = vm.guest_memory
+            frame = gfn
+        return domain.read_word((frame << PAGE_SHIFT) | offset)
+
+    return read
+
+
+class _DMTWalkerBase(Walker):
+    """Shared plumbing: recorder-backed fetch callback + fallback walker."""
+
+    def __init__(
+        self,
+        register_file: DMTRegisterFile,
+        fallback_walker: Walker,
+        memsys: MemorySubsystem,
+        read_pte: Callable[[int], int],
+    ):
+        super().__init__(memsys)
+        self.fetcher = DMTFetcher(register_file)
+        self.fallback_walker = fallback_walker
+        self.read_pte = read_pte
+
+    def _run(self, va: int, attempt: Callable[[WalkRecorder], FetchResult]) -> WalkResult:
+        rec = WalkRecorder(self.memsys)
+        result = attempt(rec)
+        if result.fallback:
+            # Not covered by the registers: the x86 page walker handles it.
+            fallback = self.fallback_walker.translate(va)
+            fallback.fallback = True
+            return self.record(fallback)
+        cycles = rec.finish()
+        return self.record(
+            WalkResult(va, cycles, rec.refs, result.pa, result.page_size)
+        )
+
+    def _fetch_cb(self, rec: WalkRecorder) -> Callable[[int, str, int], None]:
+        def fetch(addr: int, tag: str, group: int) -> None:
+            rec.fetch_grouped(addr, tag, group)
+
+        return fetch
+
+
+class DMTNativeWalker(_DMTWalkerBase):
+    """Native DMT: one memory reference (§3, Figure 7)."""
+
+    name = "dmt-native"
+
+    def translate(self, va: int) -> WalkResult:
+        return self._run(
+            va,
+            lambda rec: self.fetcher.translate_native(
+                va, self.read_pte, self._fetch_cb(rec)
+            ),
+        )
+
+
+class DMTVirtWalker(_DMTWalkerBase):
+    """DMT in a VM without paravirtualization: three references (§3.1)."""
+
+    name = "dmt-virt"
+
+    def translate(self, gva: int) -> WalkResult:
+        return self._run(
+            gva,
+            lambda rec: self.fetcher.translate_virt(
+                gva, self.read_pte, self._fetch_cb(rec)
+            ),
+        )
+
+
+class PvDMTVirtWalker(_DMTWalkerBase):
+    """pvDMT in a VM: two references (§3.1, §4.5.1)."""
+
+    name = "pvdmt-virt"
+
+    def __init__(
+        self,
+        register_file: DMTRegisterFile,
+        gtea_table: GTEATable,
+        fallback_walker: Walker,
+        memsys: MemorySubsystem,
+        read_pte: Callable[[int], int],
+    ):
+        super().__init__(register_file, fallback_walker, memsys, read_pte)
+        self.gtea_table = gtea_table
+
+    def translate(self, gva: int) -> WalkResult:
+        return self._run(
+            gva,
+            lambda rec: self.fetcher.translate_virt_pv(
+                gva, self.gtea_table, self.read_pte, self._fetch_cb(rec)
+            ),
+        )
+
+
+class PvDMTNestedWalker(_DMTWalkerBase):
+    """pvDMT under nested virtualization: three references (§3.2)."""
+
+    name = "pvdmt-nested"
+
+    def __init__(
+        self,
+        register_file: DMTRegisterFile,
+        l2_gtea_table: GTEATable,
+        l1_gtea_table: GTEATable,
+        fallback_walker: Walker,
+        memsys: MemorySubsystem,
+        read_pte: Callable[[int], int],
+    ):
+        super().__init__(register_file, fallback_walker, memsys, read_pte)
+        self.l2_gtea_table = l2_gtea_table
+        self.l1_gtea_table = l1_gtea_table
+
+    def translate(self, l2va: int) -> WalkResult:
+        return self._run(
+            l2va,
+            lambda rec: self.fetcher.translate_nested_pv(
+                l2va,
+                self.l2_gtea_table,
+                self.l1_gtea_table,
+                self.read_pte,
+                self._fetch_cb(rec),
+            ),
+        )

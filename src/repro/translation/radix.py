@@ -1,0 +1,137 @@
+"""Baseline radix walkers: native, 2D nested (Figure 2), and shadow.
+
+These are the vanilla Linux / Linux-KVM translation paths the paper
+compares against. The native walker uses the page-walk caches of Table 3
+to skip upper levels; the nested walker additionally uses the nested PWC
+to short-circuit the host dimension of recently walked guest frames.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize, level_index
+from repro.kernel.page_table import PTE_HUGE, PTE_PRESENT, RadixPageTable, pte_frame
+from repro.mem.physmem import frame_to_addr
+from repro.translation.base import MemorySubsystem, Walker, WalkRecorder, WalkResult
+from repro.virt.hypervisor import VM
+
+_LEAF_SIZE = {1: PageSize.SIZE_4K, 2: PageSize.SIZE_2M, 3: PageSize.SIZE_1G}
+
+
+class NativeRadixWalker(Walker):
+    """The x86 page-table walker of Figure 1 (with PWC)."""
+
+    name = "radix-native"
+
+    def __init__(self, page_table: RadixPageTable, memsys: MemorySubsystem):
+        super().__init__(memsys)
+        self.page_table = page_table
+
+    def translate(self, va: int) -> WalkResult:
+        rec = WalkRecorder(self.memsys)
+        rec.charge(self.memsys.pwc_latency)
+        start_level, table_addr = self.memsys.pwc.best_entry(va)
+        if table_addr is None:
+            table_frame = self.page_table.root_frame
+        else:
+            table_frame = table_addr >> PAGE_SHIFT
+
+        pa: Optional[int] = None
+        size = PageSize.SIZE_4K
+        level = start_level
+        while level >= 1:
+            pte_addr = frame_to_addr(table_frame) + level_index(va, level) * 8
+            rec.fetch(pte_addr, f"L{level}")
+            pte = self.page_table.memory.read_word(pte_addr)
+            if not pte & PTE_PRESENT:
+                break
+            if level == 1 or pte & PTE_HUGE:
+                size = _LEAF_SIZE[level]
+                pa = (pte_frame(pte) << PAGE_SHIFT) + (va & (size.bytes - 1))
+                break
+            table_frame = pte_frame(pte)
+            self.memsys.pwc.fill(va, level - 1, frame_to_addr(table_frame))
+            level -= 1
+        return self.record(WalkResult(va, rec.finish(), rec.refs, pa, size))
+
+
+class NestedRadixWalker(Walker):
+    """The two-dimensional walk of Figure 2 (up to 24 references).
+
+    The guest dimension walks the guest page table; every guest-physical
+    access first resolves to host-physical through the host page table
+    (EPT), unless the nested PWC already caches that guest frame. The
+    guest PWC caches the *host* location of guest page-table nodes,
+    skipping both dimensions for the upper levels.
+    """
+
+    name = "radix-nested"
+
+    def __init__(self, guest_pt: RadixPageTable, vm: VM, memsys: MemorySubsystem):
+        super().__init__(memsys)
+        self.guest_pt = guest_pt
+        self.vm = vm
+
+    # -- host dimension -------------------------------------------------- #
+
+    def _host_resolve(self, gpa: int, rec: WalkRecorder, dim: str) -> int:
+        """gPA -> hPA, charging the hL4..hL1 chain on a nested-PWC miss."""
+        gfn = gpa >> PAGE_SHIFT
+        cached = self.memsys.nested_pwc.get(gfn)
+        if cached is not None:
+            return (cached << PAGE_SHIFT) | (gpa & (PAGE_SIZE - 1))
+        hpa = self.vm.gpa_to_hpa(gpa)  # ensures the EPT path exists
+        for step in self.vm.ept.walk_steps(gpa):
+            rec.fetch(step.pte_addr, f"h{dim}L{step.level}")
+        self.memsys.nested_pwc.fill(gfn, hpa >> PAGE_SHIFT)
+        return hpa
+
+    # -- full 2D walk ------------------------------------------------------ #
+
+    def translate(self, gva: int) -> WalkResult:
+        rec = WalkRecorder(self.memsys)
+        rec.charge(self.memsys.pwc_latency)
+        start_level, cached = self.memsys.guest_pwc.best_entry(gva)
+        if cached is None:
+            table_gpa = frame_to_addr(self.guest_pt.root_frame)
+        else:
+            table_gpa = cached
+
+        pa: Optional[int] = None
+        size = PageSize.SIZE_4K
+        level = start_level
+        while level >= 1:
+            gpte_gpa = table_gpa + level_index(gva, level) * 8
+            gpte_hpa = self._host_resolve(gpte_gpa, rec, dim=f"g{level}")
+            rec.fetch(gpte_hpa, f"gL{level}")
+            gpte = self.guest_pt.memory.read_word(gpte_gpa)
+            if not gpte & PTE_PRESENT:
+                break
+            if level == 1 or gpte & PTE_HUGE:
+                size = _LEAF_SIZE[level]
+                data_gpa = (pte_frame(gpte) << PAGE_SHIFT) + (gva & (size.bytes - 1))
+                pa = self._host_resolve(data_gpa, rec, dim="d")
+                break
+            table_gpa = frame_to_addr(pte_frame(gpte))
+            self.memsys.guest_pwc.fill(gva, level - 1, table_gpa)
+            level -= 1
+        return self.record(WalkResult(gva, rec.finish(), rec.refs, pa, size))
+
+
+class ShadowWalker(Walker):
+    """Shadow paging: a native-style walk over the hypervisor's sPT.
+
+    The walk itself is cheap; the cost of shadow paging is the VM exits on
+    every guest page-table update, which the performance model charges
+    from the VM's exit statistics (§2.2).
+    """
+
+    name = "radix-shadow"
+
+    def __init__(self, spt: RadixPageTable, memsys: MemorySubsystem):
+        super().__init__(memsys)
+        self._inner = NativeRadixWalker(spt, memsys)
+
+    def translate(self, va: int) -> WalkResult:
+        return self.record(self._inner.translate(va))

@@ -1,0 +1,29 @@
+"""Virtualization substrate: hypervisor, EPT, shadow paging, nesting, hypercalls."""
+
+from repro.virt.hypercall import (
+    GTEAEntry,
+    HypercallResult,
+    KVM_HC_ALLOC_TEA,
+    TEARequest,
+    hypercall_latency_us,
+    tea_alloc_latency_ms,
+)
+from repro.virt.hypervisor import VM, EPTViolation, Hypervisor, VMExitStats
+from repro.virt.nested import NestedSetup
+from repro.virt.shadow import NestedShadowPager, ShadowPager
+
+__all__ = [
+    "GTEAEntry",
+    "HypercallResult",
+    "KVM_HC_ALLOC_TEA",
+    "TEARequest",
+    "hypercall_latency_us",
+    "tea_alloc_latency_ms",
+    "VM",
+    "EPTViolation",
+    "Hypervisor",
+    "VMExitStats",
+    "NestedSetup",
+    "NestedShadowPager",
+    "ShadowPager",
+]

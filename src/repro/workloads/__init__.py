@@ -1,0 +1,29 @@
+"""Workloads: the seven evaluation applications plus SPEC VMA profiles."""
+
+from repro.workloads.base import (
+    DEFAULT_SCALE,
+    InstalledLayout,
+    VMASpec,
+    Workload,
+    uniform_over,
+    zipf_pages,
+)
+from repro.workloads.generators import catalogue, get
+from repro.workloads.spec import spec2006_layouts, spec2017_layouts
+from repro.workloads.stats import TraceStats, reuse_distance_profile, trace_stats
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "InstalledLayout",
+    "VMASpec",
+    "Workload",
+    "uniform_over",
+    "zipf_pages",
+    "catalogue",
+    "get",
+    "spec2006_layouts",
+    "spec2017_layouts",
+    "TraceStats",
+    "reuse_distance_profile",
+    "trace_stats",
+]

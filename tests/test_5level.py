@@ -1,0 +1,65 @@
+"""Tests for 5-level paging support (§2.1.1)."""
+
+import pytest
+
+from repro.sim import NativeSimulation, SimConfig, VirtSimulation
+
+CFG5 = SimConfig(scale=4096, nrefs=4000, levels=5, record_refs=True)
+CFG4 = SimConfig(scale=4096, nrefs=4000, levels=4, record_refs=True)
+
+
+@pytest.fixture(scope="module")
+def native5():
+    return NativeSimulation("GUPS", CFG5)
+
+
+@pytest.fixture(scope="module")
+def virt5():
+    return VirtSimulation("GUPS", CFG5)
+
+
+class TestFiveLevelWalks:
+    def test_native_cold_walk_is_five_references(self, native5):
+        walker = native5.walker("vanilla")
+        result = walker.translate(native5.tlb.miss_vas[0])
+        assert [r.tag for r in result.refs] == ["L5", "L4", "L3", "L2", "L1"]
+
+    def test_nested_cold_walk_is_35_references(self, virt5):
+        """§2.1.2: 'With 5 levels, it takes up to 35 memory references.'"""
+        walker = virt5.walker("vanilla")
+        result = walker.translate(virt5.tlb.miss_vas[0])
+        assert len(result.refs) == 35
+
+    def test_translations_remain_correct(self, virt5):
+        for design in ("vanilla", "dmt", "pvdmt"):
+            walker = virt5.walker(design)
+            for va in virt5.tlb.miss_vas[:50]:
+                gpa, _ = virt5.process.page_table.translate(va)
+                assert walker.translate(va).pa == virt5.vm.gpa_to_hpa(gpa), design
+
+
+class TestDMTDepthInvariance:
+    def test_dmt_still_one_reference(self, native5):
+        walker = native5.walker("dmt")
+        result = walker.translate(native5.tlb.miss_vas[0])
+        assert not result.fallback
+        assert len(result.refs) == 1, \
+            "DMT fetches the leaf directly regardless of tree depth (§3)"
+
+    def test_pvdmt_still_two_references(self, virt5):
+        walker = virt5.walker("pvdmt")
+        result = walker.translate(virt5.tlb.miss_vas[0])
+        assert not result.fallback
+        assert result.sequential_steps == 2
+
+    def test_dmt_advantage_grows_with_depth(self):
+        lat = {}
+        for levels, cfg in ((4, CFG4), (5, CFG5)):
+            sim = NativeSimulation("GUPS", cfg)
+            lat[levels] = (sim.run("vanilla").mean_latency,
+                           sim.run("dmt").mean_latency)
+        speedup4 = lat[4][0] / lat[4][1]
+        speedup5 = lat[5][0] / lat[5][1]
+        assert speedup5 >= speedup4 * 0.95
+        # the baseline walk itself got slower with the extra level
+        assert lat[5][0] >= lat[4][0] * 0.98

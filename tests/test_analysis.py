@@ -1,0 +1,74 @@
+"""Tests for costs, the CACTI-like model, and report rendering."""
+
+import pytest
+
+from repro.analysis.cacti import (
+    REFERENCE_DIE_MM2,
+    REFERENCE_TDP_W,
+    dmt_register_cost,
+)
+from repro.analysis.report import banner, format_cdf, format_series, format_table
+from repro.core.costs import Environment, ManagementLedger
+
+
+class TestCacti:
+    def test_paper_configuration_calibration(self):
+        """§6.3: 4.87 mW leakage, 0.03 mm^2 per MMU at 22 nm."""
+        cost = dmt_register_cost()
+        assert cost.leakage_mw == pytest.approx(4.87, rel=0.01)
+        assert cost.area_mm2 == pytest.approx(0.03, rel=0.01)
+
+    def test_overheads_are_marginal(self):
+        cost = dmt_register_cost()
+        assert cost.tdp_fraction < 1e-4      # vs 125 W TDP
+        assert cost.die_fraction < 1e-4      # vs 694 mm^2 die
+
+    def test_scaling_with_registers(self):
+        base = dmt_register_cost(registers_per_set=16)
+        double = dmt_register_cost(registers_per_set=32)
+        assert double.leakage_mw > base.leakage_mw
+        assert double.area_mm2 > base.area_mm2
+
+
+class TestLedger:
+    def test_records_and_totals(self):
+        ledger = ManagementLedger()
+        ledger.record("tea_create", extra_us=10)
+        ledger.record("tea_delete")
+        assert ledger.total_us > 0
+        assert set(ledger.by_op()) == {"tea_create", "tea_delete"}
+        assert ledger.total_ms == pytest.approx(ledger.total_us / 1000)
+
+    def test_environment_multipliers(self):
+        ledgers = {env: ManagementLedger(env) for env in Environment}
+        for ledger in ledgers.values():
+            ledger.record("tea_create")
+        native = ledgers[Environment.NATIVE].total_us
+        assert ledgers[Environment.VIRTUALIZED].total_us == pytest.approx(native * 10)
+        assert ledgers[Environment.NESTED].total_us == pytest.approx(native * 50)
+
+    def test_unknown_op_costs_only_extra(self):
+        ledger = ManagementLedger()
+        ledger.record("mystery", extra_us=5)
+        assert ledger.total_us == pytest.approx(5)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text and "3.00" in text
+
+    def test_format_series(self):
+        text = format_series("speedup", {"GUPS": 1.5, "Redis": 1.2}, unit="x")
+        assert "GUPS=1.50x" in text
+
+    def test_format_cdf(self):
+        points = [(1, 0.25), (2, 0.5), (3, 0.75), (4, 1.0)]
+        text = format_cdf("spec", points)
+        assert "p50=2" in text and "p100=4" in text
+        assert format_cdf("empty", []) == "empty: (empty)"
+
+    def test_banner(self):
+        assert "hello" in banner("hello")

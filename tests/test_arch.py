@@ -1,0 +1,85 @@
+"""Tests for repro.arch: x86-64 address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import arch
+from repro.arch import PageSize
+
+
+class TestPageSize:
+    def test_sizes(self):
+        assert PageSize.SIZE_4K.bytes == 4096
+        assert PageSize.SIZE_2M.bytes == 2 * 1024 * 1024
+        assert PageSize.SIZE_1G.bytes == 1024 * 1024 * 1024
+
+    def test_leaf_levels_match_figure_1(self):
+        # 4 KB pages terminate at L1, 2 MB at L2, 1 GB at L3
+        assert PageSize.SIZE_4K.leaf_level == 1
+        assert PageSize.SIZE_2M.leaf_level == 2
+        assert PageSize.SIZE_1G.leaf_level == 3
+
+    def test_sz_field_roundtrip(self):
+        for size in PageSize:
+            assert PageSize.from_sz_field(size.sz_field()) is size
+
+
+class TestLevelIndex:
+    def test_level_shifts_match_figure_1(self):
+        # VA[20:12], VA[29:21], VA[38:30], VA[47:39]
+        assert arch.level_shift(1) == 12
+        assert arch.level_shift(2) == 21
+        assert arch.level_shift(3) == 30
+        assert arch.level_shift(4) == 39
+        assert arch.level_shift(5) == 48
+
+    def test_level_shift_rejects_zero(self):
+        with pytest.raises(ValueError):
+            arch.level_shift(0)
+
+    def test_known_address_decomposition(self):
+        va = (3 << 39) | (7 << 30) | (511 << 21) | (1 << 12) | 0xABC
+        assert arch.level_index(va, 4) == 3
+        assert arch.level_index(va, 3) == 7
+        assert arch.level_index(va, 2) == 511
+        assert arch.level_index(va, 1) == 1
+        assert arch.page_offset(va) == 0xABC
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_indices_reassemble_address(self, va):
+        rebuilt = (
+            (arch.level_index(va, 4) << 39)
+            | (arch.level_index(va, 3) << 30)
+            | (arch.level_index(va, 2) << 21)
+            | (arch.level_index(va, 1) << 12)
+            | arch.page_offset(va)
+        )
+        assert rebuilt == va
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+           st.sampled_from(list(PageSize)))
+    def test_page_base_plus_offset(self, va, size):
+        assert arch.page_base(va, size) + arch.page_offset(va, size) == va
+        assert arch.page_base(va, size) % size.bytes == 0
+
+
+class TestAlignment:
+    @given(st.integers(min_value=0, max_value=1 << 50),
+           st.sampled_from([1 << s for s in range(0, 31, 3)]))
+    def test_align_up_down_bracket(self, value, alignment):
+        down = arch.align_down(value, alignment)
+        up = arch.align_up(value, alignment)
+        assert down <= value <= up
+        assert up - down in (0, alignment)
+        assert arch.is_aligned(down, alignment)
+        assert arch.is_aligned(up, alignment)
+
+    def test_pages_in(self):
+        assert arch.pages_in(1) == 1
+        assert arch.pages_in(4096) == 1
+        assert arch.pages_in(4097) == 2
+        assert arch.pages_in(2 << 20, PageSize.SIZE_2M) == 1
+
+    def test_canonicalize_truncates(self):
+        assert arch.canonicalize(1 << 60) == 0
+        assert arch.canonicalize((1 << 48) - 1) == (1 << 48) - 1

@@ -1,0 +1,157 @@
+"""Tests for the Elastic Cuckoo Page Tables substrate and walkers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import PAGE_SIZE, PageSize
+from repro.hw.config import xeon_gold_6138
+from repro.kernel.kernel import Kernel
+from repro.kernel.page_table import make_pte, pte_frame
+from repro.mem.physmem import PhysicalMemory
+from repro.translation.base import MemorySubsystem
+from repro.translation.ecpt import (
+    CuckooTable,
+    ECPTNativeWalker,
+    ECPTNestedWalker,
+    ElasticCuckooPageTables,
+)
+from repro.virt.hypervisor import Hypervisor
+
+MB = 1 << 20
+BASE = 0x7F00_0000_0000
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(256 * MB)
+
+
+@pytest.fixture
+def table(memory):
+    return CuckooTable(memory, PageSize.SIZE_4K, initial_buckets=64)
+
+
+class TestCuckooTable:
+    def test_insert_lookup(self, table):
+        table.insert(100, make_pte(7))
+        addr, pte = table.lookup(100)
+        assert pte_frame(pte) == 7
+        assert table.lookup(101) is None
+
+    def test_update_in_place(self, table):
+        table.insert(100, make_pte(7))
+        table.insert(100, make_pte(9))
+        assert pte_frame(table.lookup(100)[1]) == 9
+
+    def test_remove(self, table):
+        table.insert(100, make_pte(7))
+        assert table.remove(100)
+        assert table.lookup(100) is None
+        assert not table.remove(100)
+
+    def test_grouped_vpns_share_a_line(self, table):
+        # ECPT packs 8 consecutive VPNs per 64-byte bucket line
+        table.insert(800, make_pte(1))
+        table.insert(801, make_pte(2))
+        addr0 = table.lookup(800)[0]
+        addr1 = table.lookup(801)[0]
+        assert addr0 >> 6 == addr1 >> 6
+        assert addr1 - addr0 == 8
+
+    def test_candidate_addrs_one_per_way(self, table):
+        addrs = table.candidate_addrs(1234)
+        assert len(addrs) == table.ways
+        assert len(set(a >> 6 for a in addrs)) == table.ways
+
+    def test_elastic_resize_preserves_contents(self, memory):
+        table = CuckooTable(memory, PageSize.SIZE_4K, initial_buckets=8)
+        entries = {vpn: make_pte(vpn + 1) for vpn in range(0, 4096, 8)}
+        for vpn, pte in entries.items():
+            table.insert(vpn, pte)
+        assert table.resizes > 0, "the table must have grown elastically"
+        for vpn, pte in entries.items():
+            assert table.lookup(vpn)[1] == pte
+
+    def test_cuckoo_relocation_under_load(self, memory):
+        table = CuckooTable(memory, PageSize.SIZE_4K, initial_buckets=32)
+        # fill to a load where kicks must happen but resize may not
+        for vpn in range(0, 60 * 8, 8):
+            table.insert(vpn, make_pte(vpn))
+        for vpn in range(0, 60 * 8, 8):
+            assert table.lookup(vpn) is not None
+
+    @given(st.dictionaries(st.integers(0, 1 << 20), st.integers(1, 1 << 30),
+                           min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_dict_equivalence(self, mapping):
+        memory = PhysicalMemory(64 * MB)
+        table = CuckooTable(memory, PageSize.SIZE_4K, initial_buckets=16)
+        for vpn, frame in mapping.items():
+            table.insert(vpn, make_pte(frame & ((1 << 40) - 1)))
+        for vpn, frame in mapping.items():
+            assert pte_frame(table.lookup(vpn)[1]) == frame & ((1 << 40) - 1)
+
+
+class TestECPTSet:
+    def test_translate_multiple_sizes(self, memory):
+        ecpt = ElasticCuckooPageTables(memory)
+        ecpt.map(BASE, 100, PageSize.SIZE_4K)
+        ecpt.map(BASE + (1 << 21), 512, PageSize.SIZE_2M)
+        assert ecpt.translate(BASE) == (100 * PAGE_SIZE, PageSize.SIZE_4K)
+        pa, size = ecpt.translate(BASE + (1 << 21) + 0x123)
+        assert size == PageSize.SIZE_2M
+        assert pa == 512 * PAGE_SIZE + 0x123
+
+    def test_load_from_radix_mirror(self, memory):
+        kernel = Kernel(memory=memory)
+        proc = kernel.create_process()
+        vma = proc.mmap(4 * MB, populate=True)
+        ecpt = ElasticCuckooPageTables(memory)
+        assert ecpt.load_from_radix(proc.page_table) == 1024
+        for offset in (0, PAGE_SIZE, vma.size - 1):
+            assert ecpt.translate(vma.start + offset) == \
+                proc.page_table.translate(vma.start + offset)
+
+    def test_candidate_probes_span_sizes_and_ways(self, memory):
+        ecpt = ElasticCuckooPageTables(memory)
+        probes = ecpt.candidate_probes(BASE)
+        assert len(probes) == 9  # 3 sizes x 3 ways
+
+    def test_unmap(self, memory):
+        ecpt = ElasticCuckooPageTables(memory)
+        ecpt.map(BASE, 100, PageSize.SIZE_4K)
+        assert ecpt.unmap(BASE, PageSize.SIZE_4K)
+        assert ecpt.translate(BASE) is None
+
+
+class TestECPTWalkers:
+    def test_native_one_sequential_step(self, memory):
+        kernel = Kernel(memory=memory)
+        proc = kernel.create_process()
+        vma = proc.mmap(4 * MB, populate=True)
+        ecpt = ElasticCuckooPageTables(memory)
+        ecpt.load_from_radix(proc.page_table)
+        walker = ECPTNativeWalker(ecpt, MemorySubsystem(xeon_gold_6138()))
+        result = walker.translate(vma.start + 0x123)
+        assert result.pa == proc.page_table.translate(vma.start + 0x123)[0]
+        assert result.sequential_steps <= 1 or len(result.refs) == 1
+
+    def test_nested_three_sequential_steps(self):
+        host = Kernel(memory_bytes=512 * MB)
+        vm = Hypervisor(host).create_vm(128 * MB)
+        proc = vm.guest_kernel.create_process()
+        vma = proc.mmap(4 * MB, populate=True)
+        guest_ecpt = ElasticCuckooPageTables(vm.guest_memory)
+        guest_ecpt.load_from_radix(proc.page_table)
+        vm.back_range(0, vm.memory_bytes)
+        host_ecpt = ElasticCuckooPageTables(host.memory)
+        host_ecpt.load_from_radix(vm.ept)
+        walker = ECPTNestedWalker(guest_ecpt, host_ecpt, vm,
+                                  MemorySubsystem(xeon_gold_6138()))
+        result = walker.translate(vma.start + 0x321)
+        gpa, _ = proc.page_table.translate(vma.start + 0x321)
+        assert result.pa == vm.gpa_to_hpa(gpa)
+        # critical path: three sequential fetches (the "3 sequential,
+        # up to 81 parallel" of §3.1); non-grouped refs are the critical ones
+        critical = [r for r in result.refs if r.group < 0]
+        assert len(critical) == 3

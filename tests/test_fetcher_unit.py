@@ -1,0 +1,139 @@
+"""Unit tests for the DMT fetcher's selection logic and fault paths."""
+
+import pytest
+
+from repro.arch import PAGE_SHIFT, PageSize
+from repro.core.fetcher import DMTFetcher, _select_leaf
+from repro.core.paravirt import GTEATable, IsolationViolation
+from repro.core.registers import DMTRegister, DMTRegisterFile, RegisterSet
+from repro.kernel.page_table import PTE_HUGE, PTE_PRESENT, make_pte
+
+
+def reg(base_vpn, size_pages, tea_pfn, page_size=PageSize.SIZE_4K,
+        present=True, gtea_id=None):
+    return DMTRegister(base_vpn, tea_pfn, size_pages, page_size, present,
+                       gtea_id)
+
+
+class _FakeMemory:
+    """Word store indexed by physical address."""
+
+    def __init__(self):
+        self.words = {}
+        self.reads = []
+
+    def read(self, addr):
+        self.reads.append(addr)
+        return self.words.get(addr, 0)
+
+
+class TestSelectLeaf:
+    def test_picks_present_matching_size(self):
+        r4k = reg(0, 16, 0x10)
+        r2m = reg(0, 2, 0x20, PageSize.SIZE_2M)
+        huge_pte = make_pte(512, PTE_PRESENT | PTE_HUGE)
+        picked = _select_leaf([(r4k, 0), (r2m, huge_pte)])
+        assert picked == (r2m, huge_pte)
+
+    def test_rejects_size_mismatch(self):
+        # a PS-bit PTE seen through a 4K register is not a valid leaf
+        r4k = reg(0, 16, 0x10)
+        assert _select_leaf([(r4k, make_pte(512, PTE_PRESENT | PTE_HUGE))]) is None
+
+    def test_rejects_non_present(self):
+        r4k = reg(0, 16, 0x10)
+        assert _select_leaf([(r4k, make_pte(99, 0))]) is None
+
+
+class TestNativeFetch:
+    def _setup(self):
+        rf = DMTRegisterFile()
+        rf.load(RegisterSet.NATIVE, [reg(0x100, 16, 0x10)])
+        mem = _FakeMemory()
+        return rf, mem
+
+    def test_single_reference_success(self):
+        rf, mem = self._setup()
+        # page 3 of the VMA -> PTE at TEA base + 3*8
+        mem.words[(0x10 << PAGE_SHIFT) + 24] = make_pte(77)
+        fetcher = DMTFetcher(rf)
+        fetched = []
+        result = fetcher.translate_native(
+            (0x100 + 3) << PAGE_SHIFT | 0x45, mem.read,
+            lambda a, t, g: fetched.append(a))
+        assert result.pa == (77 << PAGE_SHIFT) | 0x45
+        assert result.references == 1
+        assert fetched == [(0x10 << PAGE_SHIFT) + 24]
+        assert fetcher.hits == 1
+
+    def test_fault_charges_one_probe(self):
+        rf, mem = self._setup()
+        fetcher = DMTFetcher(rf)
+        fetched = []
+        result = fetcher.translate_native(0x100 << PAGE_SHIFT, mem.read,
+                                          lambda a, t, g: fetched.append(a))
+        assert result.fault and not result.fallback
+        assert len(fetched) == 1
+
+    def test_fallback_makes_no_fetches(self):
+        rf, mem = self._setup()
+        fetcher = DMTFetcher(rf)
+        fetched = []
+        result = fetcher.translate_native(0x999 << PAGE_SHIFT, mem.read,
+                                          lambda a, t, g: fetched.append(a))
+        assert result.fallback
+        assert fetched == []
+
+    def test_parallel_probe_charges_only_winner(self):
+        rf = DMTRegisterFile()
+        rf.load(RegisterSet.NATIVE, [
+            reg(0x40000000 >> 12, 1024, 0x10),
+            reg(0x40000000 >> 21, 2, 0x20, PageSize.SIZE_2M),
+        ])
+        mem = _FakeMemory()
+        mem.words[0x20 << PAGE_SHIFT] = make_pte(512, PTE_PRESENT | PTE_HUGE)
+        fetcher = DMTFetcher(rf)
+        fetched = []
+        result = fetcher.translate_native(0x40000000 + 0x5678, mem.read,
+                                          lambda a, t, g: fetched.append(a))
+        assert result.page_size == PageSize.SIZE_2M
+        assert fetched == [0x20 << PAGE_SHIFT], \
+            "only the winning probe is on the critical path"
+
+    def test_full_miss_charges_all_probes(self):
+        rf = DMTRegisterFile()
+        rf.load(RegisterSet.NATIVE, [
+            reg(0x40000000 >> 12, 1024, 0x10),
+            reg(0x40000000 >> 21, 2, 0x20, PageSize.SIZE_2M),
+        ])
+        mem = _FakeMemory()
+        fetcher = DMTFetcher(rf)
+        fetched = []
+        result = fetcher.translate_native(0x40000000, mem.read,
+                                          lambda a, t, g: fetched.append((a, g)))
+        assert result.fault
+        assert len(fetched) == 2
+        assert fetched[0][1] == fetched[1][1], "miss probes share one group"
+
+
+class TestPvIsolationPropagation:
+    def test_forged_gtea_id_faults_during_translation(self):
+        """A malicious guest pointing a register at a bogus gTEA id must
+        hit the host page fault, not host memory (§4.5.2)."""
+
+        class _VMStub:
+            class hypervisor:
+                class host_memory:
+                    class allocator:
+                        @staticmethod
+                        def alloc_pages(order, movable=False):
+                            return 0x99
+
+        table = GTEATable(_VMStub())
+        rf = DMTRegisterFile()
+        rf.load(RegisterSet.GUEST,
+                [reg(0x100, 16, 0x10, gtea_id=42)])  # 42 never allocated
+        fetcher = DMTFetcher(rf)
+        with pytest.raises(IsolationViolation):
+            fetcher.translate_virt_pv(0x100 << PAGE_SHIFT, table,
+                                      lambda a: 0, lambda a, t, g: None)

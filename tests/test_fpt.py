@@ -1,0 +1,107 @@
+"""Tests for Flattened Page Tables."""
+
+import pytest
+
+from repro.arch import PAGE_SIZE, PageSize
+from repro.hw.config import xeon_gold_6138
+from repro.kernel.kernel import Kernel
+from repro.mem.physmem import PhysicalMemory
+from repro.translation.base import MemorySubsystem
+from repro.translation.fpt import (
+    FlattenedPageTable,
+    FPTNativeWalker,
+    FPTNestedWalker,
+)
+from repro.virt.hypervisor import Hypervisor
+
+MB = 1 << 20
+BASE = 0x7F00_0000_0000
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(256 * MB)
+
+
+@pytest.fixture
+def fpt(memory):
+    return FlattenedPageTable(memory)
+
+
+class TestFlattenedTable:
+    def test_map_translate(self, fpt):
+        fpt.map(BASE, 100)
+        assert fpt.translate(BASE + 0x777) == (100 * PAGE_SIZE + 0x777,
+                                               PageSize.SIZE_4K)
+        assert fpt.translate(BASE + PAGE_SIZE) is None
+
+    def test_huge_page(self, fpt):
+        fpt.map(BASE, 512, PageSize.SIZE_2M)
+        pa, size = fpt.translate(BASE + 0x12345)
+        assert size == PageSize.SIZE_2M and pa == 512 * PAGE_SIZE + 0x12345
+
+    def test_1g_unsupported(self, fpt):
+        with pytest.raises(ValueError):
+            fpt.map(BASE, 0, PageSize.SIZE_1G)
+
+    def test_unmap(self, fpt):
+        fpt.map(BASE, 100)
+        fpt.unmap(BASE)
+        assert fpt.translate(BASE) is None
+
+    def test_nodes_are_2mb_flat_arrays(self, fpt):
+        # merged L4+L3 root and merged L2+L1 leaves: 2 MB each (18 index bits)
+        fpt.map(BASE, 100)
+        assert fpt.table_bytes() == 2 * (2 * MB)
+
+    def test_index_split(self):
+        va = (0x155 << 30) | (0x2AA << 12)
+        assert FlattenedPageTable.upper_index(va) == 0x155
+        assert FlattenedPageTable.lower_index(va) == 0x2AA << 0
+
+    def test_load_from_radix(self, memory, fpt):
+        kernel = Kernel(memory=memory)
+        proc = kernel.create_process()
+        vma = proc.mmap(2 * MB, populate=True)
+        assert fpt.load_from_radix(proc.page_table) == 512
+        assert fpt.translate(vma.start) == proc.page_table.translate(vma.start)
+
+
+class TestFPTWalkers:
+    def test_native_two_references(self, memory, fpt):
+        kernel = Kernel(memory=memory)
+        proc = kernel.create_process()
+        vma = proc.mmap(2 * MB, populate=True)
+        fpt.load_from_radix(proc.page_table)
+        walker = FPTNativeWalker(fpt, MemorySubsystem(xeon_gold_6138()))
+        result = walker.translate(vma.start)
+        assert len(result.refs) == 2, "Table 6: FPT native = 2 references"
+        assert result.pa == proc.page_table.translate(vma.start)[0]
+
+    def test_native_huge_probe(self, memory, fpt):
+        kernel = Kernel(memory=memory, thp_enabled=True)
+        proc = kernel.create_process()
+        vma = proc.mmap(2 * MB, populate=True)
+        fpt.load_from_radix(proc.page_table)
+        walker = FPTNativeWalker(fpt, MemorySubsystem(xeon_gold_6138()),
+                                 probe_huge=True)
+        result = walker.translate(vma.start + 0x5000)
+        assert result.page_size == PageSize.SIZE_2M
+        assert result.pa == proc.page_table.translate(vma.start + 0x5000)[0]
+
+    def test_virtualized_eight_references(self):
+        host = Kernel(memory_bytes=768 * MB)
+        vm = Hypervisor(host).create_vm(128 * MB)
+        proc = vm.guest_kernel.create_process()
+        vma = proc.mmap(2 * MB, populate=True)
+        guest_fpt = FlattenedPageTable(vm.guest_memory)
+        guest_fpt.load_from_radix(proc.page_table)
+        vm.back_range(0, vm.memory_bytes)
+        host_fpt = FlattenedPageTable(host.memory)
+        host_fpt.load_from_radix(vm.ept)
+        walker = FPTNestedWalker(guest_fpt, host_fpt, vm,
+                                 MemorySubsystem(xeon_gold_6138()))
+        result = walker.translate(vma.start + 0x123)
+        assert len(result.refs) == 8, "Table 6: FPT virtualized = 8 references"
+        gpa, _ = proc.page_table.translate(vma.start + 0x123)
+        assert result.pa == vm.gpa_to_hpa(gpa)

@@ -1,0 +1,109 @@
+"""Tests for the on-demand (lazy) TEA allocation policy (§7)."""
+
+import pytest
+
+from repro.arch import PAGE_SIZE, PageSize
+from repro.core.dmt_os import DMTLinux
+from repro.core.fetcher import DMTFetcher
+from repro.core.tea import TEAManager
+from repro.kernel.kernel import Kernel
+from repro.mem.buddy import BuddyAllocator
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=256 * MB)
+
+
+@pytest.fixture
+def lazy_dmt(kernel):
+    return DMTLinux(kernel, tea_policy="lazy")
+
+
+class TestEnsureGranule:
+    def test_creates_one_page_tea(self):
+        manager = TEAManager(BuddyAllocator(1 << 12))
+        frame = manager.ensure_granule(0x7F00_0000_0000, PageSize.SIZE_4K)
+        assert frame is not None
+        tea = manager.owner_of(0x7F00_0000_0000, PageSize.SIZE_4K)
+        assert tea.npages == 1
+
+    def test_idempotent(self):
+        manager = TEAManager(BuddyAllocator(1 << 12))
+        first = manager.ensure_granule(0x7F00_0000_0000, PageSize.SIZE_4K)
+        assert manager.ensure_granule(0x7F00_0000_0000, PageSize.SIZE_4K) == first
+        assert len(manager.teas) == 1
+
+    def test_dynamic_expansion_keeps_runs_contiguous(self):
+        """Sequential touch order grows one TEA instead of fragmenting."""
+        manager = TEAManager(BuddyAllocator(1 << 12))
+        base = 0x7F00_0000_0000
+        for i in range(8):
+            manager.ensure_granule(base + i * 2 * MB, PageSize.SIZE_4K)
+        assert len(manager.teas) == 1, "adjacent granules must expand in place"
+        tea = manager.owner_of(base, PageSize.SIZE_4K)
+        assert tea.npages == 8
+
+    def test_sparse_touches_make_separate_teas(self):
+        manager = TEAManager(BuddyAllocator(1 << 12))
+        base = 0x7F00_0000_0000
+        manager.ensure_granule(base, PageSize.SIZE_4K)
+        manager.ensure_granule(base + 100 * MB, PageSize.SIZE_4K)
+        assert len(manager.teas) == 2
+
+    def test_exhausted_memory_returns_none(self):
+        buddy = BuddyAllocator(8)
+        for _ in range(8):
+            buddy.alloc_pages(0, movable=False)
+        manager = TEAManager(buddy)
+        assert manager.ensure_granule(0, PageSize.SIZE_4K) is None
+
+
+class TestLazyDMTLinux:
+    def test_rejects_bad_policy(self, kernel):
+        with pytest.raises(ValueError):
+            DMTLinux(kernel, tea_policy="whatever")
+
+    def test_no_tea_until_touch(self, kernel, lazy_dmt):
+        proc = kernel.create_process()
+        proc.mmap(64 * MB, name="big-file")
+        manager = lazy_dmt.manager_for(proc)
+        assert manager.tea_manager.total_tea_bytes() == 0
+
+    def test_sparse_access_saves_memory(self, kernel, lazy_dmt):
+        """§7's motivating case: mmap a large file, touch a small part."""
+        proc = kernel.create_process()
+        vma = proc.mmap(64 * MB, name="big-file")
+        for offset in range(0, 4 * MB, PAGE_SIZE):  # touch 1/16th
+            proc.touch(vma.start + offset)
+        tea_bytes = lazy_dmt.manager_for(proc).tea_manager.total_tea_bytes()
+        eager_bytes = (64 * MB // (2 * MB)) * PAGE_SIZE
+        assert tea_bytes == (4 * MB // (2 * MB)) * PAGE_SIZE
+        assert tea_bytes < eager_bytes / 8
+
+    def test_fetcher_works_over_lazy_teas(self, kernel, lazy_dmt):
+        proc = kernel.create_process()
+        vma = proc.mmap(16 * MB, name="heap")
+        proc.populate(vma)
+        lazy_dmt.reload_registers(proc)
+        fetcher = DMTFetcher(lazy_dmt.register_file)
+        result = fetcher.translate_native(
+            vma.start + 5 * MB, kernel.memory.read_word, lambda a, t, g: None)
+        assert result.pa == proc.page_table.translate(vma.start + 5 * MB)[0]
+        assert result.references == 1
+
+    def test_dense_population_fragments_but_stays_covered(self, kernel, lazy_dmt):
+        """The lazy policy's cost: data allocations interleave with TEA
+        growth, defeating in-place expansion, so a densely touched VMA ends
+        up with one TEA per granule — more registers than eager's one.
+        This is why the paper defaults to eager allocation (§7)."""
+        proc = kernel.create_process()
+        vma = proc.mmap(16 * MB, name="heap")
+        proc.populate(vma)
+        manager = lazy_dmt.manager_for(proc)
+        registers = manager.build_registers()
+        assert 1 <= len(registers) <= 16 * MB // (2 * MB)
+        covered = sum(r.vma_size_pages << 12 for r in registers)
+        assert covered == 16 * MB, "every granule still register-covered"

@@ -1,0 +1,157 @@
+"""Tests for VMA-to-TEA mapping management (§4.2)."""
+
+import pytest
+
+from repro.arch import PAGE_SIZE, PageSize
+from repro.core.mapping import MappingManager
+from repro.core.tea import TEAManager
+from repro.kernel.vma import VMA
+from repro.mem.buddy import BuddyAllocator
+
+MB = 1 << 20
+BASE = 0x7F00_0000_0000
+
+
+@pytest.fixture
+def manager():
+    return MappingManager(TEAManager(BuddyAllocator(1 << 14)))
+
+
+class TestClusterCreation:
+    def test_new_vma_gets_cluster_and_tea(self, manager):
+        vma = VMA(BASE, BASE + 8 * MB, name="heap")
+        cluster = manager.vma_created(vma)
+        assert cluster.covered_bytes == 8 * MB
+        assert len(cluster.teas[PageSize.SIZE_4K]) == 1
+
+    def test_distant_vmas_stay_separate(self, manager):
+        manager.vma_created(VMA(BASE, BASE + 8 * MB))
+        manager.vma_created(VMA(BASE + 100 * MB, BASE + 108 * MB))
+        assert len(manager.clusters) == 2
+
+    def test_adjacent_vmas_merge_under_threshold(self, manager):
+        # 8 MB + 8 KB bubble + 8 MB: bubble ratio 0.05% << 2%
+        manager.vma_created(VMA(BASE, BASE + 8 * MB))
+        cluster = manager.vma_created(
+            VMA(BASE + 8 * MB + 8192, BASE + 16 * MB + 8192)
+        )
+        assert len(manager.clusters) == 1
+        assert manager.merges == 1
+        assert cluster.va_end == BASE + 16 * MB + 8192
+        assert cluster.bubble_ratio < 0.02
+
+    def test_merge_respects_bubble_threshold(self, manager):
+        # 2 MB + 2 MB gap + 2 MB: 33% bubbles >> 2% -> no merge (§4.2.1)
+        manager.vma_created(VMA(BASE, BASE + 2 * MB))
+        manager.vma_created(VMA(BASE + 4 * MB, BASE + 6 * MB))
+        assert len(manager.clusters) == 2
+        assert manager.merges == 0
+
+    def test_merge_is_iterative(self, manager):
+        # many small adjacent VMAs collapse into one cluster (Memcached, §2.3)
+        start = BASE
+        for _ in range(20):
+            manager.vma_created(VMA(start, start + 2 * MB))
+            start += 2 * MB + 2 * PAGE_SIZE
+        assert len(manager.clusters) == 1
+
+    def test_custom_threshold(self):
+        strict = MappingManager(TEAManager(BuddyAllocator(1 << 14)),
+                                bubble_threshold=0.0001)
+        strict.vma_created(VMA(BASE, BASE + 8 * MB))
+        strict.vma_created(VMA(BASE + 8 * MB + 8192, BASE + 16 * MB))
+        assert len(strict.clusters) == 2
+
+
+class TestVMALifecycle:
+    def test_grow_expands_tea(self, manager):
+        vma = VMA(BASE, BASE + 4 * MB)
+        cluster = manager.vma_created(vma)
+        vma.end = BASE + 8 * MB
+        manager.vma_grown(vma)
+        assert cluster.va_end == BASE + 8 * MB
+        tea = cluster.teas[PageSize.SIZE_4K][0]
+        assert tea.va_end >= BASE + 8 * MB
+
+    def test_shrink_trims_tea(self, manager):
+        vma = VMA(BASE, BASE + 8 * MB)
+        cluster = manager.vma_created(vma)
+        vma.end = BASE + 4 * MB
+        manager.vma_shrunk(vma)
+        assert cluster.va_end == BASE + 4 * MB
+        tea = cluster.teas[PageSize.SIZE_4K][0]
+        assert tea.va_end == BASE + 4 * MB
+
+    def test_remove_deletes_cluster_and_teas(self, manager):
+        free_before = manager.tea_manager.allocator.free_frames
+        vma = VMA(BASE, BASE + 8 * MB)
+        manager.vma_created(vma)
+        manager.vma_removed(vma)
+        assert manager.clusters == []
+        assert manager.tea_manager.allocator.free_frames == free_before
+
+
+class TestRegisterSelection:
+    def test_largest_mappings_win_registers(self):
+        manager = MappingManager(TEAManager(BuddyAllocator(1 << 14)),
+                                 register_count=2)
+        sizes_mb = [2, 64, 4, 32, 8]
+        start = BASE
+        for size in sizes_mb:
+            manager.vma_created(VMA(start, start + size * MB))
+            start += size * MB + 64 * MB  # keep clusters separate
+        registers = manager.build_registers()
+        assert len(registers) == 2
+        spans = sorted(
+            ((r.vma_size_pages << 12) >> 20 for r in registers), reverse=True
+        )
+        assert spans == [64, 32], "§4.2: the largest VMAs get the registers"
+
+    def test_register_encodes_tea_base(self, manager):
+        vma = VMA(BASE, BASE + 8 * MB)
+        cluster = manager.vma_created(vma)
+        register = manager.build_registers()[0]
+        tea = cluster.teas[PageSize.SIZE_4K][0]
+        assert register.tea_base_pfn == tea.base_frame
+        assert register.vma_base == tea.va_start
+        assert register.present
+
+    def test_gtea_ids_attached(self, manager):
+        vma = VMA(BASE, BASE + 8 * MB)
+        cluster = manager.vma_created(vma)
+        tea = cluster.teas[PageSize.SIZE_4K][0]
+        register = manager.build_registers({tea.tea_id: 5})[0]
+        assert register.gtea_id == 5
+
+    def test_split_teas_take_multiple_registers(self):
+        buddy = BuddyAllocator(1 << 14)
+        held = [buddy.alloc_pages(0, movable=False) for _ in range(1 << 14)]
+        for i in range(0, len(held), 8):
+            buddy.free_pages(held[i])
+            buddy.free_pages(held[i + 1])
+        manager = MappingManager(TEAManager(buddy))
+        manager.vma_created(VMA(BASE, BASE + 16 * MB))
+        registers = manager.build_registers()
+        assert len(registers) == 4  # contiguity forced four split TEAs
+        # together the split registers tile the full VMA
+        spans = sorted((r.vma_base, r.vma_end) for r in registers)
+        assert spans[0][0] == BASE and spans[-1][1] == BASE + 16 * MB
+
+
+class TestMigrationUpkeep:
+    def test_blocked_growth_migrates_and_recovers(self, manager):
+        vma = VMA(BASE, BASE + 4 * MB)
+        cluster = manager.vma_created(vma)
+        tea = cluster.teas[PageSize.SIZE_4K][0]
+        blocker = manager.tea_manager.allocator.alloc_contig(1)
+        assert blocker == tea.base_frame + tea.npages
+        vma.end = BASE + 8 * MB
+        manager.vma_grown(vma)
+        assert manager.pending_migrations
+        # registers built mid-migration carry a cleared P-bit
+        register = manager.build_registers()[0]
+        assert not register.present
+        manager.run_migrations()
+        assert not manager.pending_migrations
+        register = manager.build_registers()[0]
+        assert register.present

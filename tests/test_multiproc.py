@@ -1,0 +1,48 @@
+"""Tests for the multi-process context-switch simulation (§4.1)."""
+
+import pytest
+
+from repro.sim.machine import SimConfig
+from repro.sim.multiproc import REGISTER_RELOAD_CYCLES, MultiProcessSimulation
+
+CFG = SimConfig(scale=8192, nrefs=3000)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return MultiProcessSimulation(["GUPS", "Canneal"], CFG, quantum_misses=100)
+
+
+class TestScheduling:
+    def test_switch_count_matches_quanta(self, sim):
+        stats = sim.run("dmt")
+        total_misses = sum(len(s) for s in sim.miss_streams)
+        expected_min = total_misses // 100 - 2
+        assert stats.switches >= max(2, expected_min // 2)
+        assert stats.register_reload_cycles == \
+            stats.switches * REGISTER_RELOAD_CYCLES
+
+    def test_coverage_survives_switching(self, sim):
+        """Register reloads restore 99+% coverage after every switch."""
+        stats = sim.run("dmt")
+        assert stats.per_design["dmt"]["fallback_rate"] < 0.01
+
+    def test_dmt_beats_vanilla_under_interference(self, sim):
+        dmt = sim.run("dmt").per_design["dmt"]
+        vanilla = sim.run("vanilla").per_design["vanilla"]
+        assert dmt["mean_latency"] < vanilla["mean_latency"], \
+            "cross-process PTE-cache interference hurts 4-fetch walks more"
+
+    def test_switch_overhead_is_minor(self, sim):
+        stats = sim.run("dmt")
+        assert stats.per_design["dmt"]["switch_overhead_fraction"] < 0.15, \
+            "register reloads must not dominate translation cost (§4.1)"
+
+    def test_unknown_design_rejected(self, sim):
+        with pytest.raises(KeyError):
+            sim.run("ecpt")
+
+    def test_every_stream_fully_consumed(self, sim):
+        stats = sim.run("dmt")
+        total = sum(len(s) for s in sim.miss_streams)
+        assert stats.per_design["dmt"]["walks"] == total

@@ -1,0 +1,184 @@
+"""Tests for pvDMT: hypercall, gTEA table, isolation (§4.5)."""
+
+import pytest
+
+from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize
+from repro.core.costs import Environment
+from repro.core.dmt_os import DMTLinux
+from repro.core.fetcher import DMTFetcher
+from repro.core.paravirt import (
+    GTEATable,
+    IsolationViolation,
+    PvDMTHost,
+    PvTEAAllocator,
+)
+from repro.core.registers import RegisterSet
+from repro.kernel.kernel import Kernel
+from repro.mem.buddy import ContiguityError
+from repro.mem.fragmentation import fragment
+from repro.translation.dmt import machine_reader
+from repro.virt.hypercall import TEARequest, hypercall_latency_us, tea_alloc_latency_ms
+from repro.virt.hypervisor import Hypervisor
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def host():
+    return Kernel(memory_bytes=512 * MB)
+
+
+@pytest.fixture
+def vm(host):
+    return Hypervisor(host).create_vm(128 * MB)
+
+
+@pytest.fixture
+def pv(vm):
+    return PvDMTHost(vm)
+
+
+class TestHypercall:
+    def test_alloc_returns_host_contiguous_area(self, pv, vm, host):
+        result = pv.handle_alloc_tea([TEARequest(vma_base=0, npages=8)])
+        assert len(result.entries) == 1
+        entry = result.entries[0]
+        # gTEA is backed by host-contiguous frames, visible at a gPA range
+        for i in range(entry.npages):
+            hpa = vm.gpa_to_hpa(entry.gpa_base + i * PAGE_SIZE)
+            assert hpa >> PAGE_SHIFT == entry.host_base_frame + i
+
+    def test_one_vm_exit_per_hypercall(self, pv, vm):
+        before = vm.exits.hypercalls
+        pv.handle_alloc_tea([TEARequest(0, 2), TEARequest(0, 2)])
+        assert vm.exits.hypercalls == before + 1, \
+            "one VM exit serves a whole request array (§4.5.1)"
+
+    def test_host_splits_on_fragmentation(self, host, vm, pv):
+        # fragment host memory so a large contig run is unavailable
+        fragment(host.memory.allocator, fill_fraction=0.9)
+        result = pv.handle_alloc_tea([TEARequest(0, 64)])
+        assert len(result.entries) > 1
+        assert sum(e.npages for e in result.entries) == 64
+
+    def test_latency_model_matches_section_6_3(self):
+        # §6.3: 1.88 us single / 10.75 us nested hypercall; 13.27 / 23.73 /
+        # 48.07 ms for 50 / 100 / 200 MB TEA allocations.
+        assert hypercall_latency_us() == pytest.approx(1.88)
+        assert hypercall_latency_us(nested=True) == pytest.approx(10.75)
+        assert tea_alloc_latency_ms(50 * MB) == pytest.approx(13.27, rel=0.15)
+        assert tea_alloc_latency_ms(100 * MB) == pytest.approx(23.73, rel=0.15)
+        assert tea_alloc_latency_ms(200 * MB) == pytest.approx(48.07, rel=0.15)
+
+
+class TestGTEATable:
+    def test_ids_resolve(self, pv):
+        entry = pv.gtea_table.add(0x100, 4, 0x40000, 0)
+        assert pv.gtea_table.get(entry.gtea_id) is entry
+
+    def test_invalid_id_is_isolation_violation(self, pv):
+        with pytest.raises(IsolationViolation):
+            pv.gtea_table.get(999)
+        with pytest.raises(IsolationViolation):
+            pv.gtea_table.get(None)
+
+    def test_out_of_bounds_offset_faults(self, pv):
+        entry = pv.gtea_table.add(0x100, 4, 0x40000, 0)
+        # in bounds: fine
+        addr = pv.gtea_table.resolve_pte_addr(entry.gtea_id, 4 * PAGE_SIZE - 8)
+        assert addr == (0x100 << PAGE_SHIFT) + 4 * PAGE_SIZE - 8
+        # §4.5.2: an out-of-bound access must fault, never touch host memory
+        with pytest.raises(IsolationViolation):
+            pv.gtea_table.resolve_pte_addr(entry.gtea_id, 4 * PAGE_SIZE)
+        with pytest.raises(IsolationViolation):
+            pv.gtea_table.resolve_pte_addr(entry.gtea_id, -8)
+
+    def test_removed_id_faults(self, pv):
+        entry = pv.gtea_table.add(0x100, 4, 0x40000, 0)
+        pv.gtea_table.remove(entry.gtea_id)
+        with pytest.raises(IsolationViolation):
+            pv.gtea_table.get(entry.gtea_id)
+
+
+class TestPvAllocatorAdapter:
+    def test_alloc_contig_returns_guest_frames(self, pv, vm):
+        alloc = PvTEAAllocator(pv)
+        gfn = alloc.alloc_contig(4)
+        assert alloc.gtea_id_for(gfn) is not None
+        # the guest sees it as ordinary guest-physical memory
+        assert vm.gpa_to_hpa(gfn << PAGE_SHIFT) is not None
+
+    def test_free_contig_releases(self, pv, host):
+        alloc = PvTEAAllocator(pv)
+        # warm up so EPT table pages (kept by the host) are already built
+        warm = alloc.alloc_contig(4)
+        alloc.free_contig(warm, 4)
+        free_before = host.memory.allocator.free_frames
+        gfn = alloc.alloc_contig(4)
+        alloc.free_contig(gfn, 4)
+        assert host.memory.allocator.free_frames == free_before
+        with pytest.raises(ValueError):
+            alloc.free_contig(gfn, 4)
+
+    def test_expand_always_migrates(self, pv):
+        alloc = PvTEAAllocator(pv)
+        gfn = alloc.alloc_contig(4)
+        assert alloc.expand_contig(gfn, 4, 2) is False
+
+
+class TestEndToEndPvDMT:
+    def _build(self, host, vm):
+        host_dmt = DMTLinux(host, register_set=RegisterSet.NATIVE)
+        host_dmt.attach_ept(vm)
+        pv_host = PvDMTHost(vm, ledger=host_dmt.ledger)
+        guest_dmt = DMTLinux(
+            vm.guest_kernel, register_set=RegisterSet.GUEST,
+            register_file=host_dmt.register_file,
+            environment=Environment.VIRTUALIZED,
+            tea_allocator=PvTEAAllocator(pv_host),
+        )
+        return host_dmt, guest_dmt, pv_host
+
+    def test_two_reference_translation(self, host, vm):
+        host_dmt, guest_dmt, pv_host = self._build(host, vm)
+        proc = vm.guest_kernel.create_process()
+        vma = proc.mmap(4 * MB, populate=True)
+        vm.back_range(0, 16 * MB)
+        guest_dmt.reload_registers(proc)
+        host_dmt.register_file.load(
+            RegisterSet.NATIVE, host_dmt.host_registers_for_vm(vm))
+        reader = machine_reader(host.memory, [vm])
+        fetcher = DMTFetcher(host_dmt.register_file)
+        refs = []
+        result = fetcher.translate_virt_pv(
+            vma.start + 0x2345, pv_host.gtea_table, reader,
+            lambda a, t, g: refs.append(t))
+        assert result.references == 2, "pvDMT is two references (§3.1)"
+        gpa, _ = proc.page_table.translate(vma.start + 0x2345)
+        assert result.pa == vm.gpa_to_hpa(gpa)
+        assert refs == ["gPTE", "PTE"]
+
+    def test_three_reference_translation_without_pv(self, host, vm):
+        host_dmt, guest_dmt, pv_host = self._build(host, vm)
+        proc = vm.guest_kernel.create_process()
+        vma = proc.mmap(4 * MB, populate=True)
+        vm.back_range(0, 16 * MB)
+        guest_dmt.reload_registers(proc)
+        host_dmt.register_file.load(
+            RegisterSet.NATIVE, host_dmt.host_registers_for_vm(vm))
+        reader = machine_reader(host.memory, [vm])
+        fetcher = DMTFetcher(host_dmt.register_file)
+        result = fetcher.translate_virt(vma.start + 0x999, reader,
+                                        lambda a, t, g: None)
+        assert result.references == 3, "DMT without pv is three references (§3.1)"
+        gpa, _ = proc.page_table.translate(vma.start + 0x999)
+        assert result.pa == vm.gpa_to_hpa(gpa)
+
+    def test_guest_pte_updates_need_no_exits(self, host, vm):
+        """§4.5.1: after TEA setup the guest writes PTEs without VM exits."""
+        host_dmt, guest_dmt, pv_host = self._build(host, vm)
+        proc = vm.guest_kernel.create_process()
+        vma = proc.mmap(4 * MB)
+        exits = vm.exits.total
+        proc.populate(vma)  # thousands of guest PTE writes
+        assert vm.exits.total == exits

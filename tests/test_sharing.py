@@ -1,0 +1,147 @@
+"""Tests for page sharing: fork/COW and shared mappings under DMT."""
+
+import pytest
+
+from repro.arch import PAGE_SIZE, PageSize
+from repro.core.dmt_os import DMTLinux
+from repro.core.fetcher import DMTFetcher
+from repro.kernel.kernel import Kernel
+from repro.kernel.page_table import PTE_WRITE
+from repro.kernel.sharing import FrameRefs, SharingManager
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=256 * MB)
+
+
+@pytest.fixture
+def sharing(kernel):
+    return SharingManager(kernel)
+
+
+class TestFrameRefs:
+    def test_base_count_is_one(self):
+        refs = FrameRefs()
+        assert refs.get(42) == 1
+        assert not refs.is_shared(42)
+
+    def test_inc_dec(self):
+        refs = FrameRefs()
+        assert refs.inc(42) == 2
+        assert refs.is_shared(42)
+        assert refs.dec(42) == 1
+        assert not refs.is_shared(42)
+        assert refs.dec(42) == 0
+
+
+class TestForkCOW:
+    def test_fork_shares_frames(self, kernel, sharing):
+        parent = kernel.create_process("parent")
+        vma = parent.mmap(2 * MB, populate=True)
+        free_before = kernel.memory.allocator.free_frames
+        child = sharing.fork(parent)
+        # no data frames copied at fork time (only the child's table pages)
+        assert free_before - kernel.memory.allocator.free_frames <= 8
+        for offset in (0, PAGE_SIZE, vma.size - 1):
+            assert child.page_table.translate(vma.start + offset)[0] == \
+                parent.page_table.translate(vma.start + offset)[0]
+
+    def test_fork_write_protects_both_sides(self, kernel, sharing):
+        parent = kernel.create_process("parent")
+        vma = parent.mmap(MB, populate=True)
+        child = sharing.fork(parent)
+        for proc in (parent, child):
+            _, pte, _ = proc.page_table.lookup(vma.start)
+            assert not pte & PTE_WRITE
+
+    def test_cow_splits_on_write(self, kernel, sharing):
+        parent = kernel.create_process("parent")
+        vma = parent.mmap(MB, populate=True)
+        child = sharing.fork(parent)
+        before_pa = parent.page_table.translate(vma.start)[0]
+        child_pa = sharing.write(child, vma.start)
+        assert child_pa != before_pa, "the writer gets a private copy"
+        assert parent.page_table.translate(vma.start)[0] == before_pa
+        assert sharing.cow_faults == 1
+
+    def test_last_owner_write_restores_permission_in_place(self, kernel, sharing):
+        parent = kernel.create_process("parent")
+        vma = parent.mmap(MB, populate=True)
+        child = sharing.fork(parent)
+        sharing.write(child, vma.start)       # child split away
+        parent_pa = sharing.write(parent, vma.start)
+        # parent was the last owner: no copy, frame stays
+        assert parent_pa == parent.page_table.translate(vma.start)[0]
+        _, pte, _ = parent.page_table.lookup(vma.start)
+        assert pte & PTE_WRITE
+
+    def test_untouched_pages_stay_shared(self, kernel, sharing):
+        parent = kernel.create_process("parent")
+        vma = parent.mmap(MB, populate=True)
+        child = sharing.fork(parent)
+        sharing.write(child, vma.start)  # only page 0 splits
+        assert child.page_table.translate(vma.start + PAGE_SIZE)[0] == \
+            parent.page_table.translate(vma.start + PAGE_SIZE)[0]
+
+
+class TestSharedMappings:
+    def test_share_mapping_visible_both_ways(self, kernel, sharing):
+        a = kernel.create_process("a")
+        src = a.mmap(MB, populate=True)
+        b = kernel.create_process("b")
+        dst = sharing.share_mapping(a, src, b)
+        for offset in (0, MB - 1):
+            assert a.page_table.translate(src.start + offset)[0] == \
+                b.page_table.translate(dst.start + offset)[0]
+
+    def test_release_keeps_frames_until_last_owner(self, kernel, sharing):
+        a = kernel.create_process("a")
+        src = a.mmap(MB, populate=True)
+        b = kernel.create_process("b")
+        dst = sharing.share_mapping(a, src, b)
+        frame_pa = a.page_table.translate(src.start)[0]
+        sharing.release_range(b, dst.start, dst.size)
+        # a's view still intact
+        assert a.page_table.translate(src.start)[0] == frame_pa
+
+
+class TestSharingUnderDMT:
+    def test_forked_child_gets_its_own_teas(self, kernel, sharing):
+        dmt = DMTLinux(kernel)
+        parent = kernel.create_process("parent")
+        vma = parent.mmap(4 * MB, populate=True)
+        child = sharing.fork(parent)
+        p_tea = dmt.manager_for(parent).clusters[0].all_teas()[0]
+        c_tea = dmt.manager_for(child).clusters[0].all_teas()[0]
+        assert p_tea.base_frame != c_tea.base_frame, \
+            "PTEs are per-process even when frames are shared (§3)"
+
+    def test_dmt_fetch_correct_for_both_processes(self, kernel, sharing):
+        dmt = DMTLinux(kernel)
+        parent = kernel.create_process("parent")
+        vma = parent.mmap(4 * MB, populate=True)
+        child = sharing.fork(parent)
+        fetcher = DMTFetcher(dmt.register_file)
+        for proc in (parent, child):
+            kernel.context_switch(proc)
+            result = fetcher.translate_native(
+                vma.start + 0x123, kernel.memory.read_word,
+                lambda a, t, g: None)
+            assert result.pa == proc.page_table.translate(vma.start + 0x123)[0]
+            assert result.references == 1
+
+    def test_cow_write_keeps_dmt_consistent(self, kernel, sharing):
+        dmt = DMTLinux(kernel)
+        parent = kernel.create_process("parent")
+        vma = parent.mmap(4 * MB, populate=True)
+        child = sharing.fork(parent)
+        new_pa = sharing.write(child, vma.start)
+        kernel.context_switch(child)
+        fetcher = DMTFetcher(dmt.register_file)
+        result = fetcher.translate_native(vma.start, kernel.memory.read_word,
+                                          lambda a, t, g: None)
+        assert result.pa == new_pa, \
+            "the split PTE is visible to the fetcher immediately (no copies)"

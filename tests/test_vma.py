@@ -1,0 +1,152 @@
+"""Tests for VMAs and address spaces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import PAGE_SIZE
+from repro.kernel.vma import VMA, AddressSpace, VMAEvent
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestVMA:
+    def test_basic_properties(self):
+        vma = VMA(0x1000, 0x5000, name="heap")
+        assert vma.size == 0x4000
+        assert vma.pages == 4
+        assert vma.contains(0x1000) and vma.contains(0x4FFF)
+        assert not vma.contains(0x5000)
+
+    def test_rejects_empty_or_unaligned(self):
+        with pytest.raises(ValueError):
+            VMA(0x2000, 0x2000)
+        with pytest.raises(ValueError):
+            VMA(0x2001, 0x3000)
+
+    def test_overlaps(self):
+        vma = VMA(0x2000, 0x4000)
+        assert vma.overlaps(0x3000, 0x5000)
+        assert vma.overlaps(0x1000, 0x2001)
+        assert not vma.overlaps(0x4000, 0x5000)
+        assert not vma.overlaps(0x1000, 0x2000)
+
+
+class TestMmap:
+    def test_mmap_finds_gap(self, space):
+        first = space.mmap(4 * MB)
+        second = space.mmap(4 * MB)
+        assert not first.overlaps(second.start, second.end)
+
+    def test_mmap_fixed_address(self, space):
+        vma = space.mmap(MB, addr=0x10000000)
+        assert vma.start == 0x10000000
+
+    def test_mmap_rejects_overlap(self, space):
+        space.mmap(MB, addr=0x10000000)
+        with pytest.raises(ValueError):
+            space.mmap(MB, addr=0x10000000)
+
+    def test_mmap_rounds_length_up(self, space):
+        vma = space.mmap(PAGE_SIZE + 1)
+        assert vma.size == 2 * PAGE_SIZE
+
+    def test_find(self, space):
+        vma = space.mmap(MB, addr=0x10000000)
+        assert space.find(0x10000000) is vma
+        assert space.find(0x10000000 + MB - 1) is vma
+        assert space.find(0x10000000 + MB) is None
+        assert space.find(0x0) is None
+
+
+class TestMunmapSplitGrow:
+    def test_munmap_whole(self, space):
+        vma = space.mmap(MB, addr=0x10000000)
+        removed = space.munmap(vma.start, vma.size)
+        assert removed == [vma]
+        assert len(space) == 0
+
+    def test_munmap_middle_splits(self, space):
+        space.mmap(4 * MB, addr=0x10000000)
+        space.munmap(0x10000000 + MB, MB)
+        assert len(space) == 2
+        assert space.find(0x10000000) is not None
+        assert space.find(0x10000000 + MB) is None
+        assert space.find(0x10000000 + 2 * MB) is not None
+
+    def test_split(self, space):
+        vma = space.mmap(2 * MB, addr=0x10000000)
+        low, high = space.split(vma, 0x10000000 + MB)
+        assert low.end == high.start == 0x10000000 + MB
+        assert len(space) == 2
+
+    def test_split_validates_point(self, space):
+        vma = space.mmap(2 * MB, addr=0x10000000)
+        with pytest.raises(ValueError):
+            space.split(vma, vma.start)
+        with pytest.raises(ValueError):
+            space.split(vma, vma.start + 7)
+
+    def test_grow(self, space):
+        vma = space.mmap(MB, addr=0x10000000)
+        space.grow(vma, MB)
+        assert vma.size == 2 * MB
+
+    def test_grow_blocked_by_neighbour(self, space):
+        vma = space.mmap(MB, addr=0x10000000)
+        space.mmap(MB, addr=0x10000000 + MB)
+        with pytest.raises(ValueError):
+            space.grow(vma, MB)
+
+    def test_shrink(self, space):
+        vma = space.mmap(2 * MB, addr=0x10000000)
+        space.shrink(vma, MB)
+        assert vma.size == MB
+        with pytest.raises(ValueError):
+            space.shrink(vma, 4 * MB)
+
+
+class TestHooks:
+    def test_events_fire(self, space):
+        events = []
+        space.add_hook(lambda ev, vma: events.append(ev))
+        vma = space.mmap(4 * MB, addr=0x10000000)
+        space.grow(vma, MB)
+        space.shrink(vma, 4 * MB)
+        space.split(vma, 0x10000000 + 2 * MB)
+        space.munmap(0x10000000, MB)
+        kinds = [e for e in events]
+        assert kinds[0] is VMAEvent.CREATED
+        assert VMAEvent.GROWN in kinds
+        assert VMAEvent.SHRUNK in kinds
+        assert VMAEvent.SPLIT in kinds
+        # munmap of a partial range fires SPLIT then REMOVED
+        assert kinds[-1] is VMAEvent.REMOVED
+
+    def test_remove_hook(self, space):
+        events = []
+        hook = lambda ev, vma: events.append(ev)
+        space.add_hook(hook)
+        space.remove_hook(hook)
+        space.mmap(MB)
+        assert events == []
+
+
+class TestInvariants:
+    @given(st.lists(st.tuples(st.integers(1, 64), st.booleans()),
+                    min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_vmas_never_overlap_and_stay_sorted(self, script):
+        space = AddressSpace()
+        for pages, unmap_one in script:
+            space.mmap(pages * PAGE_SIZE)
+            if unmap_one and len(space) > 1:
+                victim = space.vmas()[len(space) // 2]
+                space.munmap(victim.start, victim.size // 2 or PAGE_SIZE)
+            vmas = space.vmas()
+            for a, b in zip(vmas, vmas[1:]):
+                assert a.end <= b.start, "address space must stay sorted/disjoint"
