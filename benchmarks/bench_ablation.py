@@ -5,8 +5,6 @@ fixes: 16 registers per set, the 2% clustering bubble threshold, and (a
 simulator parameter) the PTE share of the cache hierarchy.
 """
 
-import pytest
-
 from repro.analysis.report import banner, format_table
 from repro.core.dmt_os import DMTLinux
 from repro.kernel.kernel import Kernel

@@ -1,0 +1,118 @@
+"""Engine microbenchmarks: vectorized stage 1 and the parallel sweep.
+
+Not a paper figure — this bench guards the simulator's own performance:
+
+* the vectorized TLB-filter engine must beat the scalar oracle by >= 3x
+  on the reference stage-1 run (GUPS, native, nrefs=40000) while
+  emitting a bit-identical miss stream;
+* the process-parallel sweep runner must produce the same cells as an
+  inline run, and scale with worker count when cores are available.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.report import banner, format_table
+from repro.sim.simulator import (
+    make_size_lookup,
+    tlb_accept_rates,
+    tlb_filter,
+)
+from repro.sim.sweep import run_sweep
+from repro.sim import NativeSimulation, SimConfig
+
+from conftest import SCALE
+
+#: The acceptance target for the reference stage-1 run.
+NREFS = int(os.environ.get("REPRO_BENCH_ENGINE_NREFS", "40000"))
+MIN_SPEEDUP = 3.0
+
+
+def _stage1_inputs():
+    config = SimConfig(scale=SCALE, nrefs=NREFS)
+    sim = NativeSimulation("GUPS", config)
+    trace = sim.workload.generate_trace(sim.layout, config.nrefs, config.seed)
+    ws = sim.workload.working_set_bytes()
+    paper_ws = int(sim.workload.paper_working_set_gb * (1 << 30))
+    accept = tlb_accept_rates(config.machine, ws, paper_ws)
+    return sim, trace, accept, config.machine
+
+
+def _best_of(repeats, fn):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+def test_stage1_vectorized_speedup(benchmark):
+    sim, trace, accept, machine = _stage1_inputs()
+    page_table = sim.process.page_table
+
+    scalar_seconds, scalar_result = _best_of(3, lambda: tlb_filter(
+        trace, machine, make_size_lookup(page_table),
+        accept_rates=accept, engine="scalar"))
+    vec_seconds, vec_result = _best_of(3, lambda: tlb_filter(
+        trace, machine, make_size_lookup(page_table),
+        accept_rates=accept, engine="vec"))
+    speedup = scalar_seconds / vec_seconds
+
+    print(banner(f"Stage-1 engine: GUPS native, nrefs={NREFS}"))
+    print(format_table(
+        ["engine", "best of 3", "refs/s", "misses"],
+        [["scalar", f"{scalar_seconds * 1e3:.1f} ms",
+          f"{NREFS / scalar_seconds:,.0f}", scalar_result.miss_count],
+         ["vec", f"{vec_seconds * 1e3:.1f} ms",
+          f"{NREFS / vec_seconds:,.0f}", vec_result.miss_count]],
+    ))
+    print(f"speedup: {speedup:.2f}x (target >= {MIN_SPEEDUP}x)")
+
+    assert np.array_equal(scalar_result.miss_vas, vec_result.miss_vas), \
+        "engines diverged — the vec engine must be bit-identical"
+    assert speedup >= MIN_SPEEDUP, \
+        f"vectorized stage 1 only {speedup:.2f}x over the scalar oracle"
+
+    lookup = make_size_lookup(page_table)
+    benchmark.pedantic(
+        lambda: tlb_filter(trace, machine, lookup, accept_rates=accept),
+        rounds=3, iterations=1,
+    )
+
+
+def _telemetry_free(document):
+    """Sweep cells minus the fields that legitimately vary per run."""
+    volatile = ("replay_seconds", "walks_per_second", "build_seconds",
+                "peak_rss_kb", "worker_pid")
+    return [{k: v for k, v in cell.items() if k not in volatile}
+            for cell in document["cells"]]
+
+
+def test_sweep_scaling_with_workers():
+    kwargs = dict(envs=("native",), workloads=("GUPS", "Redis"),
+                  designs=("vanilla", "dmt"), scale=2048, nrefs=6000)
+
+    start = time.perf_counter()
+    serial = run_sweep(workers=1, **kwargs)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_sweep(workers=2, **kwargs)
+    parallel_seconds = time.perf_counter() - start
+
+    print(banner("Sweep runner scaling"))
+    print(f"1 worker : {serial_seconds:.2f}s   "
+          f"2 workers: {parallel_seconds:.2f}s   "
+          f"ratio {serial_seconds / parallel_seconds:.2f}x "
+          f"({os.cpu_count()} core(s))")
+
+    assert _telemetry_free(parallel) == _telemetry_free(serial), \
+        "parallel sweep must reproduce the inline results exactly"
+    assert parallel["meta"]["cells"] == 4
+    if (os.cpu_count() or 1) >= 2:
+        # two independent groups on two cores: expect near-linear scaling,
+        # asserted loosely to tolerate loaded CI machines
+        assert parallel_seconds < serial_seconds * 0.80, \
+            "sweep does not scale with worker count"

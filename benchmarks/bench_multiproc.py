@@ -6,8 +6,6 @@ the CR3 write — by co-scheduling two workloads on one core at several
 quantum lengths.
 """
 
-import pytest
-
 from repro.analysis.report import banner, format_table
 from repro.sim.machine import SimConfig
 from repro.sim.multiproc import MultiProcessSimulation

@@ -9,8 +9,6 @@ cache when available.
 from repro.analysis.report import banner, format_table
 from repro.sim.simulator import geomean
 
-from conftest import WORKLOADS
-
 import bench_fig14
 import bench_fig15
 

@@ -20,29 +20,17 @@ from typing import Dict, List, Tuple
 
 import pytest
 
-from repro.sim import (
-    NativeSimulation,
-    NestedSimulation,
-    SimConfig,
-    VirtSimulation,
-)
+from repro.sim import SimConfig
+from repro.sim.sweep import ALL_WORKLOADS, build_sim
 
 SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "512"))
 NREFS = int(os.environ.get("REPRO_BENCH_NREFS", "30000"))
 
-ALL_WORKLOADS = ["Redis", "Memcached", "GUPS", "BTree", "Canneal",
-                 "XSBench", "Graph500"]
 _env_workloads = os.environ.get("REPRO_BENCH_WORKLOADS", "").strip()
 WORKLOADS: List[str] = (
     [w for w in _env_workloads.split(",") if w] if _env_workloads
     else ALL_WORKLOADS
 )
-
-_ENVS = {
-    "native": NativeSimulation,
-    "virt": VirtSimulation,
-    "nested": NestedSimulation,
-}
 
 
 def bench_config(thp: bool = False, record_refs: bool = False) -> SimConfig:
@@ -51,7 +39,11 @@ def bench_config(thp: bool = False, record_refs: bool = False) -> SimConfig:
 
 
 class SimCache:
-    """Session-wide store of built simulation machines and run results."""
+    """Session-wide store of built simulation machines and run results.
+
+    Machine construction goes through :func:`repro.sim.sweep.build_sim`,
+    the same entry point the parallel sweep runner's workers use.
+    """
 
     def __init__(self):
         self._sims: Dict[Tuple, object] = {}
@@ -63,7 +55,7 @@ class SimCache:
         key = (env, workload, thp, record_refs)
         if key not in self._sims:
             cfg = bench_config(thp=thp, record_refs=record_refs)
-            self._sims[key] = _ENVS[env](workload, cfg)
+            self._sims[key] = build_sim(env, workload, cfg)
         return self._sims[key]
 
 

@@ -31,7 +31,7 @@ def main() -> None:
     sim = NestedSimulation("GUPS", config)
 
     # one address, end to end
-    va = sim.tlb.miss_vas[0]
+    va = int(sim.tlb.miss_vas[0])  # miss_vas is an int64 ndarray
     l2pa, _ = sim.process.page_table.translate(va)
     l1pa = sim.nested.l2pa_to_l1pa(l2pa)
     l0pa = sim.nested.l1pa_to_l0pa(l1pa)

@@ -1,10 +1,13 @@
-"""Command-line interface: run one simulation or reproduce one figure.
+"""Command-line interface: run one simulation, a sweep, or a figure.
 
 Examples::
 
     python -m repro list
     python -m repro run --workload GUPS --env virt --designs vanilla,pvdmt
     python -m repro run --workload Redis --env native --thp --nrefs 40000
+    python -m repro run --workload GUPS --env native --levels 5
+    python -m repro sweep --env native --workers 4
+    python -m repro sweep --env native,virt --pages both --out sweep.json
     python -m repro table1
 """
 
@@ -41,7 +44,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     env_cls = ENVIRONMENTS[args.env]
     config = SimConfig(scale=args.scale, nrefs=args.nrefs, seed=args.seed,
-                       thp=args.thp)
+                       thp=args.thp, levels=args.levels,
+                       register_count=args.register_count,
+                       engine=args.engine)
     print(f"building {args.env} machine for {args.workload} "
           f"(scale 1/{args.scale}, {args.nrefs} refs, "
           f"{'THP' if args.thp else '4KB'}) ...")
@@ -78,6 +83,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.sweep import run_sweep, summarize
+
+    envs = [env for env in args.env.split(",") if env]
+    unknown = set(envs) - set(ENVIRONMENTS)
+    if unknown:
+        print(f"unknown environment(s): {sorted(unknown)}", file=sys.stderr)
+        return 2
+    thp_modes = {"4k": (False,), "thp": (True,), "both": (False, True)}
+    workloads = [w for w in args.workloads.split(",") if w] \
+        if args.workloads else None
+    designs = [d for d in args.designs.split(",") if d] \
+        if args.designs else None
+
+    document = run_sweep(
+        envs=envs, workloads=workloads, designs=designs,
+        thp_modes=thp_modes[args.pages], workers=args.workers,
+        out_path=args.out, progress=print,
+        scale=args.scale, nrefs=args.nrefs, seed=args.seed,
+        levels=args.levels, register_count=args.register_count,
+    )
+    print(format_table(
+        ["env", "workload", "pages", "design", "cycles/walk",
+         "walk speedup", "walks/s", "peak RSS"],
+        summarize(document),
+        title=f"Sweep: {document['meta']['cells']} cells in "
+              f"{document['meta']['wall_seconds']:.1f}s "
+              f"({document['meta']['workers']} worker(s))",
+    ))
+    if args.out:
+        print(f"\nwrote {document['meta']['cells']} cells to {args.out}")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     rows = []
     for name, workload in catalogue(min(args.scale, 1024)).items():
@@ -105,19 +144,45 @@ def main(argv=None) -> int:
     sub.add_parser("table1", parents=[common],
                    help="print the Table 1 reproduction")
 
-    run = sub.add_parser("run", parents=[common],
+    simopts = argparse.ArgumentParser(add_help=False)
+    simopts.add_argument("--nrefs", type=int, default=20_000)
+    simopts.add_argument("--seed", type=int, default=0)
+    simopts.add_argument("--levels", type=int, choices=(4, 5), default=4,
+                         help="radix page-table depth (§2.1.1's 5-level "
+                              "extension; default 4)")
+    simopts.add_argument("--register-count", type=int, default=16,
+                         help="DMT registers per set (default 16, Fig. 13)")
+
+    run = sub.add_parser("run", parents=[common, simopts],
                          help="simulate one workload/environment")
     run.add_argument("--workload", default="GUPS")
     run.add_argument("--env", choices=sorted(ENVIRONMENTS), default="native")
     run.add_argument("--designs", default="",
                      help="comma-separated subset (default: all)")
-    run.add_argument("--nrefs", type=int, default=20_000)
-    run.add_argument("--seed", type=int, default=0)
     run.add_argument("--thp", action="store_true",
                      help="transparent huge pages in every layer")
+    run.add_argument("--engine", choices=("vec", "scalar"), default="vec",
+                     help="stage-1 TLB-filter engine (scalar = reference "
+                          "oracle)")
+
+    sweep = sub.add_parser("sweep", parents=[common, simopts],
+                           help="run the workload×design grid in parallel")
+    sweep.add_argument("--env", default="native",
+                       help="comma-separated environments (default: native)")
+    sweep.add_argument("--workloads", default="",
+                       help="comma-separated subset (default: all seven)")
+    sweep.add_argument("--designs", default="",
+                       help="comma-separated subset (default: all per env)")
+    sweep.add_argument("--pages", choices=("4k", "thp", "both"), default="4k",
+                       help="page-size modes to sweep (default: 4k)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: all cores)")
+    sweep.add_argument("--out", default="sweep_results.json",
+                       help="JSON result store (default: sweep_results.json)")
 
     args = parser.parse_args(argv)
-    handler = {"list": _cmd_list, "run": _cmd_run, "table1": _cmd_table1}
+    handler = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep,
+               "table1": _cmd_table1}
     return handler[args.command](args)
 
 

@@ -175,7 +175,6 @@ class MappingManager:
         self.tea_manager.ledger.record("mapping_merge")
         cluster.vma_ids.append(vma.vma_id)
         cluster.covered_bytes += vma.size
-        old_end = cluster.va_end
         cluster.va_end = vma.end
         for size in self.page_sizes:
             teas = cluster.teas.setdefault(size, [])

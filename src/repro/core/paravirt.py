@@ -25,7 +25,7 @@ from typing import Dict, List, Optional
 
 from repro.arch import PAGE_SHIFT, PageSize
 from repro.core.costs import ManagementLedger
-from repro.mem.buddy import BuddyAllocator, ContiguityError
+from repro.mem.buddy import ContiguityError
 from repro.virt.hypercall import (
     GTEAEntry,
     HypercallResult,

@@ -118,7 +118,7 @@ class SharingManager:
 
     def write(self, process: Process, va: int) -> int:
         """A store instruction: resolves COW, returns the physical address."""
-        frame = self.cow_fault(process, va)
+        self.cow_fault(process, va)
         translated = process.page_table.translate(va)
         assert translated is not None
         return translated[0]

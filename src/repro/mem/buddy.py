@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
-from repro.arch import PAGE_SHIFT
 
 MAX_ORDER = 11  # Linux: free lists for 2^0 .. 2^10 pages
 

@@ -11,13 +11,16 @@ from repro.sim.machine import (
 from repro.sim.multiproc import MultiProcessSimulation, MultiProcessStats
 from repro.sim.perfmodel import AppliedModel, apply_model, baseline_times, model_from_stats
 from repro.sim.simulator import (
+    SizeClassifier,
     TLBFilterResult,
     WalkStats,
     geomean,
     make_size_lookup,
     replay_walks,
     tlb_filter,
+    tlb_filter_scalar,
 )
+from repro.sim.sweep import build_sim, load_sweep, run_sweep
 
 __all__ = [
     "CALIBRATION",
@@ -35,10 +38,15 @@ __all__ = [
     "apply_model",
     "baseline_times",
     "model_from_stats",
+    "SizeClassifier",
     "TLBFilterResult",
     "WalkStats",
     "geomean",
     "make_size_lookup",
     "replay_walks",
     "tlb_filter",
+    "tlb_filter_scalar",
+    "build_sim",
+    "load_sweep",
+    "run_sweep",
 ]

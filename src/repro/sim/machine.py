@@ -12,6 +12,7 @@ alongside.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -55,7 +56,7 @@ from repro.translation.radix import (
     NestedRadixWalker,
     ShadowWalker,
 )
-from repro.virt.hypervisor import Hypervisor, VM
+from repro.virt.hypervisor import Hypervisor
 from repro.virt.nested import NestedSetup
 from repro.virt.shadow import ShadowPager
 from repro.workloads import generators
@@ -87,15 +88,19 @@ class SimConfig:
     #: this, the fixed-reach MMU caches cover the entire scaled-down
     #: working set and every design collapses to one memory reference.
     scale_mmu_caches: bool = True
+    #: Stage-1 TLB-filter engine: "vec" (batched NumPy, default) or
+    #: "scalar" (the dict-backed reference oracle). Both are
+    #: bit-identical; the oracle exists for equivalence testing.
+    engine: str = "vec"
 
     def small(self, nrefs: int = 8_000, scale: int = 4096) -> "SimConfig":
-        """A reduced copy for fast tests."""
-        return SimConfig(scale=scale, nrefs=nrefs, seed=self.seed,
-                         thp=self.thp, levels=self.levels, machine=self.machine,
-                         warmup_fraction=self.warmup_fraction,
-                         record_refs=self.record_refs,
-                         register_count=self.register_count,
-                         bubble_threshold=self.bubble_threshold)
+        """A reduced copy for fast tests.
+
+        Built with :func:`dataclasses.replace` so every field — current
+        and future — carries over instead of silently resetting to its
+        default.
+        """
+        return dataclasses.replace(self, scale=scale, nrefs=nrefs)
 
 
 class _SimulationBase:
@@ -148,7 +153,7 @@ class _SimulationBase:
                 accept = tlb_accept_rates(self.config.machine, ws, paper_ws)
         return tlb_filter(trace, self.config.machine,
                           make_size_lookup(process.page_table),
-                          accept_rates=accept)
+                          accept_rates=accept, engine=self.config.engine)
 
 
 class NativeSimulation(_SimulationBase):

@@ -67,9 +67,12 @@ class MultiProcessSimulation:
                                             self.config.seed)
             misses = tlb_filter(trace, self.config.machine,
                                 make_size_lookup(process.page_table),
-                                asid=process.asid).miss_vas
+                                asid=process.asid,
+                                engine=self.config.engine).miss_vas
             self.processes.append(process)
-            self.miss_streams.append(misses)
+            # plain ints: the interleaver re-slices these streams per
+            # quantum and the walkers expect native integers
+            self.miss_streams.append(misses.tolist())
 
     def _interleaved(self):
         """Yield (process index, va) in quantum-sized slices."""

@@ -6,18 +6,27 @@ size each translation would install). Stage 2 replays that *same* miss
 stream through each translation design's walker, so designs are compared
 on identical inputs — the structure of the paper's DynamoRIO methodology
 (§5) at simulation scale.
+
+Stage 1 has two engines. The default, :mod:`repro.sim.tlb_vec`, batches
+the per-reference work with NumPy and runs a chunked state machine over
+flat set/way arrays; the scalar :class:`~repro.hw.tlb.TLBHierarchy` path
+is kept as the reference oracle (``engine="scalar"``). The two are
+bit-identical by construction and by test
+(``tests/test_tlb_vec.py``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.arch import PageSize
 from repro.hw.config import MachineConfig
 from repro.hw.tlb import TLBHierarchy
+from repro.sim import tlb_vec
 from repro.translation.base import Walker
 
 SizeLookup = Callable[[int], PageSize]
@@ -25,10 +34,17 @@ SizeLookup = Callable[[int], PageSize]
 
 @dataclass
 class TLBFilterResult:
-    """Stage-1 output: which references missed the TLB hierarchy."""
+    """Stage-1 output: which references missed the TLB hierarchy.
 
-    miss_vas: List[int]
+    ``miss_vas`` is an int64 ndarray (the replay fast path and the
+    vectorized engine hand arrays around without copying).
+    """
+
+    miss_vas: np.ndarray
     total_refs: int
+
+    def __post_init__(self):
+        self.miss_vas = np.asarray(self.miss_vas, dtype=np.int64)
 
     @property
     def miss_count(self) -> int:
@@ -39,25 +55,53 @@ class TLBFilterResult:
         return self.miss_count / self.total_refs if self.total_refs else 0.0
 
 
-def make_size_lookup(page_table) -> SizeLookup:
+class SizeClassifier:
     """Page size of the translation covering a VA (memoized per 2 MB unit).
 
     The TLB needs the installed translation's page size; under THP a VMA
     mixes 4 KB and 2 MB pages. Page size is uniform within a 2 MB region
-    in this simulator, so memoization is exact.
+    in this simulator, so memoization is exact — and the batch interface
+    can classify whole traces with one page-table lookup per unique
+    region, sharing the same memo dict as the scalar calls.
     """
-    cache: Dict[int, PageSize] = {}
 
-    def lookup(va: int) -> PageSize:
-        key = va >> 21
-        size = cache.get(key)
+    def __init__(self, page_table):
+        self._page_table = page_table
+        self._cache: Dict[int, PageSize] = {}
+
+    def __call__(self, va: int) -> PageSize:
+        size = self._cache.get(va >> 21)
         if size is None:
-            found = page_table.lookup(va)
-            size = found[2] if found is not None else PageSize.SIZE_4K
-            cache[key] = size
+            return self._classify(va >> 21, va)
         return size
 
-    return lookup
+    def _classify(self, unit: int, va: int) -> PageSize:
+        found = self._page_table.lookup(va)
+        size = found[2] if found is not None else PageSize.SIZE_4K
+        self._cache[unit] = size
+        return size
+
+    def batch_units(self, units: np.ndarray) -> np.ndarray:
+        """Page-size *shifts* for an array of unique 2 MB unit indices."""
+        cache = self._cache
+        shifts = np.empty(len(units), dtype=np.int64)
+        for pos, unit in enumerate(units.tolist()):
+            size = cache.get(unit)
+            if size is None:
+                size = self._classify(unit, unit << 21)
+            shifts[pos] = int(size)
+        return shifts
+
+    def batch(self, vas: np.ndarray) -> np.ndarray:
+        """Per-reference page-size shifts for a whole trace."""
+        return tlb_vec.classify_trace(
+            np.asarray(vas, dtype=np.int64), self
+        )
+
+
+def make_size_lookup(page_table) -> SizeClassifier:
+    """Build the (batch-capable) size classifier for a page table."""
+    return SizeClassifier(page_table)
 
 
 def tlb_accept_rates(machine: MachineConfig, ws_bytes: int,
@@ -78,14 +122,14 @@ def tlb_accept_rates(machine: MachineConfig, ws_bytes: int,
     return rates
 
 
-def tlb_filter(
+def tlb_filter_scalar(
     trace: np.ndarray,
     machine: MachineConfig,
     size_lookup: SizeLookup,
     asid: int = 1,
     accept_rates: Optional[Dict[PageSize, float]] = None,
 ) -> TLBFilterResult:
-    """Run stage 1: return the TLB-miss address stream."""
+    """Reference oracle: the original per-reference scalar TLB model."""
     tlbs = TLBHierarchy.from_machine(machine, accept_rates)
     misses: List[int] = []
     lookup = tlbs.lookup
@@ -95,7 +139,32 @@ def tlb_filter(
         if not lookup(asid, va, size):
             misses.append(va)
             fill(asid, va, size)
-    return TLBFilterResult(misses, len(trace))
+    return TLBFilterResult(np.asarray(misses, dtype=np.int64), len(trace))
+
+
+def tlb_filter(
+    trace: np.ndarray,
+    machine: MachineConfig,
+    size_lookup: SizeLookup,
+    asid: int = 1,
+    accept_rates: Optional[Dict[PageSize, float]] = None,
+    engine: str = "vec",
+) -> TLBFilterResult:
+    """Run stage 1: return the TLB-miss address stream.
+
+    ``engine="vec"`` (default) uses the batched NumPy engine;
+    ``engine="scalar"`` runs the dict-backed oracle. Both emit the same
+    miss stream bit for bit.
+    """
+    if engine == "vec":
+        misses = tlb_vec.filter_misses(trace, machine, size_lookup,
+                                       asid=asid, accept_rates=accept_rates)
+        return TLBFilterResult(misses, len(trace))
+    if engine == "scalar":
+        return tlb_filter_scalar(trace, machine, size_lookup,
+                                 asid=asid, accept_rates=accept_rates)
+    raise ValueError(f"unknown stage-1 engine {engine!r} "
+                     "(expected 'vec' or 'scalar')")
 
 
 @dataclass
@@ -132,7 +201,7 @@ class WalkStats:
 
 def replay_walks(
     walker: Walker,
-    miss_vas: List[int],
+    miss_vas: Union[np.ndarray, Sequence[int]],
     warmup_fraction: float = 0.1,
     collect_steps: bool = False,
 ) -> WalkStats:
@@ -140,20 +209,39 @@ def replay_walks(
 
     The first ``warmup_fraction`` of misses warm the PTE caches/PWCs and
     are excluded from the statistics (the paper's simulator similarly
-    measures steady state over multi-billion-instruction traces).
+    measures steady state over multi-billion-instruction traces). When
+    ``collect_steps`` is off the loop keeps its counters in locals and
+    allocates nothing per walk beyond what the walker itself returns.
     """
+    vas = miss_vas.tolist() if isinstance(miss_vas, np.ndarray) \
+        else list(miss_vas)
     stats = WalkStats(design=walker.name)
-    warmup = int(len(miss_vas) * warmup_fraction)
-    for index, va in enumerate(miss_vas):
-        result = walker.translate(va)
-        if index < warmup:
-            continue
+    warmup = int(len(vas) * warmup_fraction)
+    translate = walker.translate
+    for va in vas[:warmup]:
+        translate(va)
+    if not collect_steps:
+        walks = total_cycles = ref_count = fallbacks = 0
+        for va in vas[warmup:]:
+            result = translate(va)
+            walks += 1
+            total_cycles += result.cycles
+            ref_count += len(result.refs)
+            if result.fallback:
+                fallbacks += 1
+        stats.walks = walks
+        stats.total_cycles = total_cycles
+        stats.ref_count = ref_count
+        stats.fallbacks = fallbacks
+        return stats
+    for va in vas[warmup:]:
+        result = translate(va)
         stats.walks += 1
         stats.total_cycles += result.cycles
         stats.ref_count += len(result.refs)
         if result.fallback:
             stats.fallbacks += 1
-        if collect_steps and result.refs:
+        if result.refs:
             # collapse parallel groups: one logical step per group
             seen_groups: Dict[int, str] = {}
             position = 0
@@ -170,8 +258,22 @@ def replay_walks(
     return stats
 
 
-def geomean(values: List[float]) -> float:
-    arr = np.asarray([v for v in values if v > 0], dtype=np.float64)
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of the positive entries of ``values``.
+
+    Zero or negative entries cannot enter a geometric mean; silently
+    dropping them would let one broken design stat inflate a summary
+    unnoticed, so their presence raises a ``RuntimeWarning`` (they are
+    still excluded, preserving the historical result).
+    """
+    raw = np.asarray(list(values), dtype=np.float64)
+    arr = raw[raw > 0]
+    if arr.size < raw.size:
+        warnings.warn(
+            f"geomean: discarding {raw.size - arr.size} non-positive "
+            f"value(s) out of {raw.size}",
+            RuntimeWarning, stacklevel=2,
+        )
     if arr.size == 0:
         return 0.0
     return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,201 @@
+"""Process-parallel sweep over the simulation grid.
+
+A *sweep* evaluates every cell of the (environment × workload × design ×
+page-size) grid — the design-space exploration behind Figures 14/15/17.
+Machine construction and stage 1 are shared per (environment, workload,
+page-size) group, exactly as :mod:`repro.sim.machine` shares them across
+designs; groups are independent, so they fan out across worker processes
+with :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Each grid cell reports telemetry alongside its simulation statistics:
+replay wall time, walk throughput, the worker's peak RSS, and the
+group's machine-build time. The whole sweep serializes to a JSON
+document (``meta`` + ``cells``) so runs can be archived and diffed.
+
+Exposed through ``python -m repro sweep`` and reused by
+``benchmarks/conftest.py``'s ``SimCache``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.machine import ENVIRONMENTS, SimConfig
+
+#: The paper's seven evaluation workloads (Table 1 order).
+ALL_WORKLOADS = ["Redis", "Memcached", "GUPS", "BTree", "Canneal",
+                 "XSBench", "Graph500"]
+
+#: A group task: everything a worker needs, as picklable primitives.
+GroupTask = Tuple[str, str, bool, Optional[Tuple[str, ...]], Dict]
+
+
+def build_sim(env: str, workload: str, config: SimConfig):
+    """Construct the simulation machine for one grid group."""
+    try:
+        env_cls = ENVIRONMENTS[env]
+    except KeyError:
+        raise KeyError(f"unknown environment {env!r}; "
+                       f"have {sorted(ENVIRONMENTS)}") from None
+    return env_cls(workload, config)
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size in KiB (Linux ru_maxrss)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def run_group(task: GroupTask) -> List[Dict]:
+    """Run one (env, workload, thp) group: build once, replay all designs.
+
+    Returns one telemetry dict per grid cell. Module-level so the
+    process pool can pickle it.
+    """
+    env, workload, thp, designs, config_kwargs = task
+    config = SimConfig(thp=thp, **config_kwargs)
+    build_start = time.perf_counter()
+    sim = build_sim(env, workload, config)
+    build_seconds = time.perf_counter() - build_start
+
+    available = list(sim.designs)
+    requested = [d for d in (designs or available) if d in available]
+    cells: List[Dict] = []
+    latency: Dict[str, float] = {}
+    for design in requested:
+        replay_start = time.perf_counter()
+        stats = sim.run(design)
+        replay_seconds = time.perf_counter() - replay_start
+        latency[design] = stats.mean_latency
+        cells.append({
+            "env": env,
+            "workload": workload,
+            "design": design,
+            "thp": thp,
+            "walks": stats.walks,
+            "mean_latency": stats.mean_latency,
+            "fallback_rate": stats.fallback_rate,
+            "miss_count": sim.tlb.miss_count,
+            "total_refs": sim.tlb.total_refs,
+            "tlb_miss_rate": sim.tlb.miss_rate,
+            "replay_seconds": replay_seconds,
+            "walks_per_second": (stats.walks / replay_seconds
+                                 if replay_seconds > 0 else 0.0),
+            "build_seconds": build_seconds,
+            "peak_rss_kb": peak_rss_kb(),
+            "worker_pid": os.getpid(),
+        })
+    vanilla = latency.get("vanilla")
+    for cell in cells:
+        cell["walk_speedup"] = (vanilla / cell["mean_latency"]
+                                if vanilla and cell["mean_latency"] else None)
+    return cells
+
+
+def grid_tasks(envs: Sequence[str],
+               workloads: Optional[Sequence[str]] = None,
+               designs: Optional[Sequence[str]] = None,
+               thp_modes: Sequence[bool] = (False,),
+               **config_kwargs) -> List[GroupTask]:
+    """Enumerate the group tasks of a sweep."""
+    names = list(workloads or ALL_WORKLOADS)
+    wanted = tuple(designs) if designs else None
+    return [(env, workload, thp, wanted, dict(config_kwargs))
+            for env in envs for workload in names for thp in thp_modes]
+
+
+def run_sweep(envs: Sequence[str] = ("native",),
+              workloads: Optional[Sequence[str]] = None,
+              designs: Optional[Sequence[str]] = None,
+              thp_modes: Sequence[bool] = (False,),
+              workers: Optional[int] = None,
+              out_path: Optional[str] = None,
+              progress: Optional[Callable[[str], None]] = None,
+              **config_kwargs) -> Dict:
+    """Run the grid, fanning groups across ``workers`` processes.
+
+    ``config_kwargs`` (scale, nrefs, seed, levels, register_count, ...)
+    are forwarded to each worker's :class:`SimConfig`. ``workers`` of 0/1
+    runs inline — same results, no pool. Returns the JSON-ready document
+    ``{"meta": ..., "cells": [...]}`` and writes it to ``out_path`` when
+    given.
+    """
+    for env in envs:
+        if env not in ENVIRONMENTS:
+            raise KeyError(f"unknown environment {env!r}; "
+                           f"have {sorted(ENVIRONMENTS)}")
+    tasks = grid_tasks(envs, workloads, designs, thp_modes, **config_kwargs)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    notify = progress or (lambda message: None)
+
+    started = time.time()
+    cells: List[Dict] = []
+    done = 0
+    if workers <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            cells.extend(run_group(task))
+            done += 1
+            notify(f"[{done}/{len(tasks)}] {task[0]}/{task[1]}"
+                   f"{' thp' if task[2] else ''} done (inline)")
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            futures = {pool.submit(run_group, task): task for task in tasks}
+            for future in as_completed(futures):
+                task = futures[future]
+                cells.extend(future.result())
+                done += 1
+                notify(f"[{done}/{len(tasks)}] {task[0]}/{task[1]}"
+                       f"{' thp' if task[2] else ''} done")
+    wall_seconds = time.time() - started
+
+    cells.sort(key=lambda c: (c["env"], c["workload"], c["thp"], c["design"]))
+    document = {
+        "meta": {
+            "envs": list(envs),
+            "workloads": list(workloads or ALL_WORKLOADS),
+            "designs": list(designs) if designs else "all",
+            "thp_modes": [bool(t) for t in thp_modes],
+            "config": dict(config_kwargs),
+            "workers": workers,
+            "groups": len(tasks),
+            "cells": len(cells),
+            "wall_seconds": wall_seconds,
+            "started_at": time.strftime("%Y-%m-%dT%H:%M:%S%z",
+                                        time.localtime(started)),
+        },
+        "cells": cells,
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+    return document
+
+
+def summarize(document: Dict) -> List[List]:
+    """Rows for a human-readable sweep summary table."""
+    rows = []
+    for cell in document["cells"]:
+        speedup = cell.get("walk_speedup")
+        rows.append([
+            cell["env"],
+            cell["workload"],
+            "THP" if cell["thp"] else "4KB",
+            cell["design"],
+            f"{cell['mean_latency']:.1f}",
+            f"{speedup:.2f}x" if speedup else "-",
+            f"{cell['walks_per_second']:,.0f}",
+            f"{cell['peak_rss_kb'] >> 10} MiB",
+        ])
+    return rows
+
+
+def load_sweep(path: str) -> Dict:
+    """Read a sweep document back from its JSON store."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

@@ -38,8 +38,12 @@ _WAY_SEEDS = (0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB)
 
 
 def _mix(value: int, seed: int) -> int:
-    """SplitMix64-style hash, reproducible and well distributed."""
-    x = (value * 2 + 1) * seed & 0xFFFFFFFFFFFFFFFF
+    """SplitMix64-style hash, reproducible and well distributed.
+
+    ``value`` may arrive as a NumPy integer (miss streams are int64
+    arrays); arbitrary-precision Python ints keep the mix overflow-free.
+    """
+    x = (int(value) * 2 + 1) * seed & 0xFFFFFFFFFFFFFFFF
     x ^= x >> 31
     x = x * 0xD6E8FEB86659FD93 & 0xFFFFFFFFFFFFFFFF
     x ^= x >> 27

@@ -56,7 +56,6 @@ def reuse_distance_profile(trace: np.ndarray, bins=(16, 256, 4096)) -> dict:
     """
     pages = (trace >> PAGE_SHIFT).tolist()
     last_seen: dict = {}
-    recency: dict = {}
     clock = 0
     counters = {b: 0 for b in bins}
     counters["inf"] = 0

@@ -145,3 +145,37 @@ class TestCLI:
                      "--designs", "wat", "--nrefs", "1000",
                      "--scale", "8192"])
         assert code == 2
+
+    def test_run_exposes_levels_and_register_count(self, capsys):
+        from repro.__main__ import main
+        code = main(["run", "--workload", "GUPS", "--env", "native",
+                     "--designs", "vanilla,dmt", "--nrefs", "1500",
+                     "--scale", "8192", "--levels", "5",
+                     "--register-count", "8", "--engine", "scalar"])
+        assert code == 0
+        assert "walk speedup" in capsys.readouterr().out
+
+    def test_sweep_command_writes_cell_telemetry(self, capsys, tmp_path):
+        import json
+
+        from repro.__main__ import main
+        out = tmp_path / "sweep.json"
+        code = main(["sweep", "--env", "native", "--workloads", "GUPS",
+                     "--designs", "vanilla,dmt", "--nrefs", "1500",
+                     "--scale", "8192", "--workers", "1",
+                     "--out", str(out)])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["meta"]["cells"] == 2
+        by_design = {cell["design"]: cell for cell in document["cells"]}
+        assert set(by_design) == {"vanilla", "dmt"}
+        for cell in by_design.values():
+            assert cell["walks"] > 0
+            assert cell["replay_seconds"] > 0
+            assert cell["walks_per_second"] > 0
+            assert cell["peak_rss_kb"] > 0
+        assert by_design["vanilla"]["walk_speedup"] == pytest.approx(1.0)
+
+    def test_sweep_rejects_unknown_env(self, capsys):
+        from repro.__main__ import main
+        assert main(["sweep", "--env", "marsbase", "--workers", "1"]) == 2

@@ -1,5 +1,8 @@
 """Tests for the simulation engine and the §5 performance model."""
 
+import dataclasses
+import warnings
+
 import pytest
 
 from repro.hw.config import xeon_gold_6138
@@ -174,3 +177,40 @@ class TestGeomean:
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
         assert geomean([]) == 0.0
         assert geomean([5.0]) == pytest.approx(5.0)
+
+    def test_clean_input_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_nonpositive_values_warn(self):
+        """A zero/negative design stat must not inflate the mean silently."""
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geomean([2.0, 0.0, 8.0]) == pytest.approx(4.0)
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geomean([-1.0]) == 0.0
+
+
+class TestSimConfigSmall:
+    def test_small_overrides_only_scale_and_nrefs(self):
+        cfg = SimConfig(scale=512, nrefs=50_000, seed=7, thp=True, levels=5,
+                        warmup_fraction=0.2, record_refs=True,
+                        register_count=8, bubble_threshold=0.05,
+                        scale_mmu_caches=False, engine="scalar")
+        small = cfg.small(nrefs=123, scale=64)
+        assert small.nrefs == 123 and small.scale == 64
+
+    def test_small_propagates_every_field(self):
+        """small() must carry every field over — including ones added
+        after it was written (it once dropped scale_mmu_caches)."""
+        overrides = {"seed": 9, "thp": True, "levels": 5,
+                     "warmup_fraction": 0.25, "record_refs": True,
+                     "register_count": 4, "bubble_threshold": 0.07,
+                     "scale_mmu_caches": False, "engine": "scalar"}
+        cfg = SimConfig(**overrides)
+        small = cfg.small()
+        for field in dataclasses.fields(SimConfig):
+            if field.name in ("scale", "nrefs"):
+                continue
+            assert getattr(small, field.name) == getattr(cfg, field.name), \
+                f"small() dropped SimConfig.{field.name}"
