@@ -9,6 +9,8 @@ Examples::
     python -m repro sweep --env native --workers 4
     python -m repro sweep --env native,virt --pages both --out sweep.json
     python -m repro table1
+    python -m repro lint
+    python -m repro run --workload GUPS --env native --sanitize
 """
 
 from __future__ import annotations
@@ -46,7 +48,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = SimConfig(scale=args.scale, nrefs=args.nrefs, seed=args.seed,
                        thp=args.thp, levels=args.levels,
                        register_count=args.register_count,
-                       engine=args.engine)
+                       engine=args.engine, sanitize=args.sanitize)
     print(f"building {args.env} machine for {args.workload} "
           f"(scale 1/{args.scale}, {args.nrefs} refs, "
           f"{'THP' if args.thp else '4KB'}) ...")
@@ -103,6 +105,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         out_path=args.out, progress=print,
         scale=args.scale, nrefs=args.nrefs, seed=args.seed,
         levels=args.levels, register_count=args.register_count,
+        sanitize=args.sanitize,
     )
     print(format_table(
         ["env", "workload", "pages", "design", "cycles/walk",
@@ -129,6 +132,12 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # dmtlint owns its own argument parser (free-form paths).
+        from repro.analysis.lint import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduction of 'Direct Memory Translation for "
@@ -152,6 +161,10 @@ def main(argv=None) -> int:
                               "extension; default 4)")
     simopts.add_argument("--register-count", type=int, default=16,
                          help="DMT registers per set (default 16, Fig. 13)")
+    simopts.add_argument("--sanitize", action="store_true",
+                         help="enable the runtime translation sanitizer "
+                              "(invariant checks on TEAs, PTEs, TLB/PWC "
+                              "coherence, pvDMT isolation)")
 
     run = sub.add_parser("run", parents=[common, simopts],
                          help="simulate one workload/environment")
@@ -179,6 +192,10 @@ def main(argv=None) -> int:
                        help="worker processes (default: all cores)")
     sweep.add_argument("--out", default="sweep_results.json",
                        help="JSON result store (default: sweep_results.json)")
+
+    # handled before parsing (free-form paths); listed here for --help only
+    sub.add_parser("lint", help="run dmtlint, the simulator-invariant "
+                                "static-analysis pass (rules L1-L4)")
 
     args = parser.parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep,

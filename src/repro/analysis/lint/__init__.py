@@ -1,0 +1,45 @@
+"""dmtlint: simulator-invariant static analysis for this codebase.
+
+A generic linter cannot know that virtual addresses must never enter the
+float domain, that the miss-replay path must be deterministic, or that a
+vectorized engine needs an oracle test for every public function. dmtlint
+encodes exactly those repository-specific conventions as four rule
+families (run as ``python -m repro lint`` and in CI):
+
+* **L1 — integer address arithmetic**: VA/PA/VPN/PFN-valued expressions
+  must stay in the int domain (no ``/``, ``float()``, ``math.pow``) and
+  must shift/mask with named constants from :mod:`repro.arch`, not magic
+  numbers.
+* **L2 — determinism**: no unseeded RNGs anywhere; no iteration over
+  ``set`` objects in the result paths (``sim/``, ``core/``,
+  ``translation/``).
+* **L3 — cost-model provenance**: every calibrated numeric constant in
+  ``core/costs.py`` / ``sim/perfmodel.py`` must carry a paper-citation
+  comment (``§..``, ``Table ..``, ``Fig ..`` or ``DESIGN.md``).
+* **L4 — engine parity**: every public function of ``sim/tlb_vec.py``
+  must be referenced by the oracle-equivalence test suite.
+
+Violations can be locally waived with ``# dmtlint: ignore[L101]`` (or a
+bare ``# dmtlint: ignore``); fixture files opt into scoped rules with a
+``# dmtlint-scope: <scope>`` pragma. See DESIGN.md §7.
+"""
+
+from repro.analysis.lint.engine import (
+    ALL_RULES,
+    FileContext,
+    LintConfig,
+    Violation,
+    lint_file,
+    lint_paths,
+    main,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "LintConfig",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "main",
+]

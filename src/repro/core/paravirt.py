@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional
 
+from repro.analysis import sanitizer
 from repro.arch import PAGE_SHIFT, PageSize
 from repro.core.costs import ManagementLedger
 from repro.mem.buddy import ContiguityError
@@ -246,9 +247,13 @@ class PvTEAAllocator:
     def _release_entry(self, entry: GTEAEntry) -> None:
         self.host_handler.gtea_table.remove(entry.gtea_id)
         if self.host_handler.upstream is None:
-            self.host_handler.vm.hypervisor.host_memory.allocator.free_contig(
+            host_memory = self.host_handler.vm.hypervisor.host_memory
+            host_memory.allocator.free_contig(
                 entry.host_base_frame, entry.npages
             )
+            if sanitizer.active():
+                sanitizer.release_frames(id(host_memory),
+                                         entry.host_base_frame, entry.npages)
 
     # -- pvDMT bookkeeping --------------------------------------------- #
 

@@ -25,8 +25,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis import sanitizer
 from repro.arch import PAGE_SHIFT, PageSize, align_down, align_up
-from repro.core.costs import ManagementLedger
+from repro.core.costs import OP_BASE_US, TEA_TOUCH_US_PER_MB, ManagementLedger
 from repro.kernel.page_table import RadixPageTable
 from repro.mem.buddy import BuddyAllocator, ContiguityError
 
@@ -172,12 +173,14 @@ class TEAManager:
             return self._create_split(start, mid, page_size) + \
                 self._create_split(mid, end, page_size)
         tea = TEA(next(self._ids), page_size, start, end, base)
+        if sanitizer.active():
+            sanitizer.check_tea(tea, getattr(self.allocator, "total_frames", None))
         self.teas[tea.tea_id] = tea
         for granule in range(start >> shift, end >> shift):
             self._owner[(int(page_size), granule)] = tea
         self.ledger.record(
             "tea_create",
-            extra_us=(tea.nbytes / (1024 * 1024)) * 55.0,
+            extra_us=(tea.nbytes / (1024 * 1024)) * TEA_TOUCH_US_PER_MB,
             detail=f"{tea.nbytes >> 10} KiB",
         )
         return [tea]
@@ -221,6 +224,9 @@ class TEAManager:
         if self.allocator.expand_contig(tea.base_frame, tea.npages, extra):
             old_end = tea.va_end
             tea.va_end = end
+            if sanitizer.active():
+                sanitizer.check_tea(tea,
+                                    getattr(self.allocator, "total_frames", None))
             for granule in range(old_end >> shift, end >> shift):
                 self._owner[(int(tea.page_size), granule)] = tea
             self.ledger.record("tea_expand")
@@ -240,10 +246,16 @@ class TEAManager:
             granule << shift
             for granule in range(tea.va_start >> shift, tea.va_end >> shift)
         ]
+        if sanitizer.active():
+            sanitizer.check_tea(target,
+                                getattr(self.allocator, "total_frames", None))
         migration = TEAMigration(tea, target, page_table, pending)
         self.migrations += 1
         self.ledger.record("tea_expand")
-        self.ledger.record("tea_migrate_page", extra_us=3.0 * len(pending))
+        self.ledger.record(
+            "tea_migrate_page",
+            extra_us=OP_BASE_US["tea_migrate_page"] * len(pending),
+        )
         return target, migration
 
     def finish_migration(self, migration: TEAMigration) -> TEA:
@@ -273,6 +285,10 @@ class TEAManager:
                             migration.page_table.memory.allocator.free_pages(old)
                         except ValueError:
                             pass
+        if sanitizer.active():
+            sanitizer.check_tea(target,
+                                getattr(self.allocator, "total_frames", None))
+            sanitizer.check_tea_tables(target, migration.page_table)
         return target
 
     def shrink(self, tea: TEA, new_va_end: int) -> TEA:
@@ -290,6 +306,8 @@ class TEAManager:
         for granule in range(end >> shift, tea.va_end >> shift):
             self._owner.pop((int(tea.page_size), granule), None)
         tea.va_end = end
+        if sanitizer.active():
+            sanitizer.check_tea(tea, getattr(self.allocator, "total_frames", None))
         self.ledger.record("tea_delete", detail="shrink")
         return tea
 

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.arch import level_shift
 from repro.hw.config import PWCConfig
+from repro.analysis import sanitizer
 
 
 @dataclass
@@ -39,6 +40,10 @@ class _LRUTable:
             self._entries[key] = value
             return value
         return None
+
+    def peek(self, key: int) -> Optional[int]:
+        """Non-mutating lookup: no LRU reordering."""
+        return self._entries.get(key)
 
     def put(self, key: int, value: int) -> None:
         if key in self._entries:
@@ -73,6 +78,7 @@ class PageWalkCache:
         # working set (DESIGN.md §5). Deterministic (credit counters).
         self._accept = list(accept_rates) if accept_rates is not None else None
         self._credit = [0.0] * len(self._tables)
+        sanitizer.register_pwc(self)  # no-op unless --sanitize is active
 
     def _key(self, va: int, level: int) -> int:
         """VA bits that select the level-``level`` table."""
@@ -112,6 +118,14 @@ class PageWalkCache:
             self._credit[offset] -= 1.0
             return True
         return False
+
+    def peek(self, va: int, level: int) -> Optional[int]:
+        """Non-mutating: cached address of the level-``level`` table for
+        ``va``, without stats or thinning credit (sanitizer probes)."""
+        offset = self.top_level - 1 - level
+        if 0 <= offset < len(self._tables):
+            return self._tables[offset].peek(self._key(va, level))
+        return None
 
     def fill(self, va: int, level: int, table_addr: int) -> None:
         """Record that the level-``level`` table for ``va`` lives at ``table_addr``."""

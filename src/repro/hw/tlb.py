@@ -12,6 +12,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.arch import PageSize, vpn_of
 from repro.hw.config import MachineConfig, TLBConfig
+from repro.analysis import sanitizer
 
 
 @dataclass
@@ -64,6 +65,12 @@ class TLB:
             way_set.pop(next(iter(way_set)))
         way_set[key] = None
 
+    def probe(self, asid: int, va: int, page_size: PageSize) -> bool:
+        """Non-mutating presence check: no stats, no LRU reordering."""
+        key = (asid, int(page_size), vpn_of(va, page_size))
+        way_set = self._sets.get(self._set_index(key))
+        return way_set is not None and key in way_set
+
     def invalidate_asid(self, asid: int) -> None:
         for way_set in self._sets.values():
             stale = [key for key in way_set if key[0] == asid]
@@ -96,6 +103,7 @@ class TLBHierarchy:
         self.stlb = TLB(stlb)
         self._accept = dict(accept_rates) if accept_rates else None
         self._credit: Dict[PageSize, float] = {}
+        sanitizer.register_tlb(self)  # no-op unless --sanitize is active
 
     @classmethod
     def from_machine(cls, machine: MachineConfig,
@@ -127,6 +135,11 @@ class TLBHierarchy:
                 return True
             return False
         return False
+
+    def probe(self, asid: int, va: int, page_size: PageSize) -> bool:
+        """Non-mutating: is the translation present at either level?"""
+        return self.l1.probe(asid, va, page_size) or \
+            self.stlb.probe(asid, va, page_size)
 
     def fill(self, asid: int, va: int, page_size: PageSize) -> None:
         self.stlb.install(asid, va, page_size)

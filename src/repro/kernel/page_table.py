@@ -24,6 +24,7 @@ from repro.arch import (
     level_index,
     level_shift,
 )
+from repro.analysis import sanitizer
 from repro.mem.physmem import PhysicalMemory, frame_to_addr
 
 PTE_PRESENT = 1 << 0
@@ -192,6 +193,9 @@ class RadixPageTable:
                 raise ValueError("huge-page frame must be size aligned")
             flags |= PTE_HUGE
         slot = self._descend(base, leaf_level, create=True, page_size=page_size)
+        if sanitizer.active():
+            sanitizer.check_pte_target(base, pfn, page_size,
+                                       self.memory.total_frames)
         self._write_pte(slot, make_pte(pfn, flags))
         self._mapped_pages[base] = page_size
         return slot
@@ -206,6 +210,8 @@ class RadixPageTable:
             raise ValueError(f"va {va:#x} is mapped with {size.name}, not {page_size.name}")
         self._write_pte(slot, 0)
         self._mapped_pages.pop(va & ~(size.bytes - 1), None)
+        if sanitizer.active():
+            sanitizer.check_unmap_coherence(self.asid, va, size)
         return pte_frame(pte)
 
     def lookup(self, va: int) -> Optional[Tuple[int, int, PageSize]]:
@@ -293,6 +299,9 @@ class RadixPageTable:
         parent_pte = self.memory.read_word(parent_addr)
         self._write_pte(parent_addr, make_pte(new_frame, parent_pte & PTE_FLAGS_MASK))
         self._tables[key] = new_frame
+        if sanitizer.active():
+            sanitizer.check_relocate_coherence(va, level,
+                                               frame_to_addr(old_frame))
         return old_frame
 
     def destroy(self) -> None:

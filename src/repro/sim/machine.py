@@ -16,11 +16,12 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.arch import PAGE_SHIFT, PageSize
+from repro.analysis import sanitizer
+from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize, align_up
 from repro.core.costs import Environment as MgmtEnv
 from repro.core.dmt_os import DMTLinux
 from repro.core.paravirt import PvDMTHost, PvTEAAllocator
-from repro.core.registers import RegisterSet
+from repro.core.registers import REGISTERS_PER_SET, RegisterSet
 from repro.hw.config import MachineConfig, xeon_gold_6138
 from repro.kernel.kernel import Kernel
 from repro.sim.simulator import (
@@ -65,7 +66,11 @@ _MB = 1 << 20
 
 
 def _page_align(nbytes: int) -> int:
-    return (nbytes + 0xFFF) & ~0xFFF
+    return align_up(nbytes, PAGE_SIZE)
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
 
 
 @dataclass
@@ -92,6 +97,52 @@ class SimConfig:
     #: "scalar" (the dict-backed reference oracle). Both are
     #: bit-identical; the oracle exists for equivalence testing.
     engine: str = "vec"
+    #: Enable the runtime translation sanitizer
+    #: (:mod:`repro.analysis.sanitizer`) for this run.
+    sanitize: bool = False
+
+    def __post_init__(self):
+        """Reject invalid configurations here, with a clear error, instead
+        of failing deep inside the fetcher or the TLB index arithmetic."""
+        if not 1 <= self.register_count <= REGISTERS_PER_SET:
+            raise ValueError(
+                f"register_count={self.register_count}: a DMT register set "
+                f"holds 1..{REGISTERS_PER_SET} registers (Figure 13; the "
+                f"register index field is 4 bits)"
+            )
+        if self.levels not in (4, 5):
+            raise ValueError(
+                f"levels={self.levels}: x86-64 radix trees are 4- or 5-level"
+            )
+        if self.engine not in ("vec", "scalar"):
+            raise ValueError(
+                f"engine={self.engine!r}: expected 'vec' or 'scalar'"
+            )
+        if self.scale < 1:
+            raise ValueError(f"scale={self.scale} must be >= 1")
+        if self.nrefs < 1:
+            raise ValueError(f"nrefs={self.nrefs} must be >= 1")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction={self.warmup_fraction} must be in [0, 1)"
+            )
+        # Power-of-two page/line geometry: VPN and set-index extraction is
+        # pure shift/mask arithmetic, so non-power-of-two sizes would
+        # silently translate wrong addresses rather than error out.
+        for tlb in (self.machine.l1d_tlb, self.machine.l1i_tlb,
+                    self.machine.l2_stlb):
+            if not _is_pow2(tlb.num_sets):
+                raise ValueError(
+                    f"{tlb.name}: {tlb.entries} entries / {tlb.assoc}-way "
+                    f"gives {tlb.num_sets} sets — set count must be a "
+                    f"power of two"
+                )
+        for cache in (self.machine.l1d, self.machine.l2, self.machine.llc):
+            if not _is_pow2(cache.line_bytes):
+                raise ValueError(
+                    f"{cache.name}: line size {cache.line_bytes} must be a "
+                    f"power of two"
+                )
 
     def small(self, nrefs: int = 8_000, scale: int = 4096) -> "SimConfig":
         """A reduced copy for fast tests.
@@ -110,6 +161,8 @@ class _SimulationBase:
 
     def __init__(self, workload_name: str, config: SimConfig):
         self.config = config
+        if config.sanitize:
+            sanitizer.enable()
         self.workload = generators.get(workload_name, config.scale)
         self._stats_cache: Dict[str, WalkStats] = {}
 

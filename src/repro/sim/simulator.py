@@ -31,6 +31,10 @@ from repro.translation.base import Walker
 
 SizeLookup = Callable[[int], PageSize]
 
+#: Page size is uniform within a 2 MB region, so classification memoizes
+#: per 2 MB "unit" (VA >> this shift).
+_UNIT_SHIFT = int(PageSize.SIZE_2M)
+
 
 @dataclass
 class TLBFilterResult:
@@ -70,9 +74,9 @@ class SizeClassifier:
         self._cache: Dict[int, PageSize] = {}
 
     def __call__(self, va: int) -> PageSize:
-        size = self._cache.get(va >> 21)
+        size = self._cache.get(va >> _UNIT_SHIFT)
         if size is None:
-            return self._classify(va >> 21, va)
+            return self._classify(va >> _UNIT_SHIFT, va)
         return size
 
     def _classify(self, unit: int, va: int) -> PageSize:
@@ -88,7 +92,7 @@ class SizeClassifier:
         for pos, unit in enumerate(units.tolist()):
             size = cache.get(unit)
             if size is None:
-                size = self._classify(unit, unit << 21)
+                size = self._classify(unit, unit << _UNIT_SHIFT)
             shifts[pos] = int(size)
         return shifts
 

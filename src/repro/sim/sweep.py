@@ -50,17 +50,39 @@ def peak_rss_kb() -> int:
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
+def error_cell(env: str, workload: str, thp: bool,
+               design: Optional[str], exc: BaseException) -> Dict:
+    """The JSON record for a grid cell (or whole group) that raised.
+
+    Error cells carry an ``"error"`` key instead of statistics, so one
+    crashing cell degrades the sweep document instead of poisoning it.
+    """
+    return {
+        "env": env,
+        "workload": workload,
+        "design": design,
+        "thp": thp,
+        "error": f"{type(exc).__name__}: {exc}",
+        "worker_pid": os.getpid(),
+    }
+
+
 def run_group(task: GroupTask) -> List[Dict]:
     """Run one (env, workload, thp) group: build once, replay all designs.
 
-    Returns one telemetry dict per grid cell. Module-level so the
+    Returns one telemetry dict per grid cell; a design that raises
+    yields an error cell while the group's other designs still complete
+    (a failed machine build fails the whole group). Module-level so the
     process pool can pickle it.
     """
     env, workload, thp, designs, config_kwargs = task
-    config = SimConfig(thp=thp, **config_kwargs)
-    build_start = time.perf_counter()
-    sim = build_sim(env, workload, config)
-    build_seconds = time.perf_counter() - build_start
+    try:
+        config = SimConfig(thp=thp, **config_kwargs)
+        build_start = time.perf_counter()
+        sim = build_sim(env, workload, config)
+        build_seconds = time.perf_counter() - build_start
+    except Exception as exc:
+        return [error_cell(env, workload, thp, None, exc)]
 
     available = list(sim.designs)
     requested = [d for d in (designs or available) if d in available]
@@ -68,7 +90,11 @@ def run_group(task: GroupTask) -> List[Dict]:
     latency: Dict[str, float] = {}
     for design in requested:
         replay_start = time.perf_counter()
-        stats = sim.run(design)
+        try:
+            stats = sim.run(design)
+        except Exception as exc:
+            cells.append(error_cell(env, workload, thp, design, exc))
+            continue
         replay_seconds = time.perf_counter() - replay_start
         latency[design] = stats.mean_latency
         cells.append({
@@ -91,6 +117,8 @@ def run_group(task: GroupTask) -> List[Dict]:
         })
     vanilla = latency.get("vanilla")
     for cell in cells:
+        if "error" in cell:
+            continue
         cell["walk_speedup"] = (vanilla / cell["mean_latency"]
                                 if vanilla and cell["mean_latency"] else None)
     return cells
@@ -147,13 +175,25 @@ def run_sweep(envs: Sequence[str] = ("native",),
             futures = {pool.submit(run_group, task): task for task in tasks}
             for future in as_completed(futures):
                 task = futures[future]
-                cells.extend(future.result())
+                try:
+                    group_cells = future.result()
+                except Exception as exc:
+                    # run_group catches cell failures itself; reaching here
+                    # means the worker process died (OOM kill, segfault) or
+                    # the result failed to unpickle — record the group as
+                    # an error instead of poisoning the whole sweep.
+                    group_cells = [error_cell(task[0], task[1], task[2],
+                                              None, exc)]
+                cells.extend(group_cells)
                 done += 1
+                failed = sum(1 for cell in group_cells if "error" in cell)
                 notify(f"[{done}/{len(tasks)}] {task[0]}/{task[1]}"
-                       f"{' thp' if task[2] else ''} done")
+                       f"{' thp' if task[2] else ''} "
+                       f"{'FAILED' if failed else 'done'}")
     wall_seconds = time.time() - started
 
-    cells.sort(key=lambda c: (c["env"], c["workload"], c["thp"], c["design"]))
+    cells.sort(key=lambda c: (c["env"], c["workload"], c["thp"],
+                              c.get("design") or ""))
     document = {
         "meta": {
             "envs": list(envs),
@@ -181,6 +221,16 @@ def summarize(document: Dict) -> List[List]:
     """Rows for a human-readable sweep summary table."""
     rows = []
     for cell in document["cells"]:
+        if "error" in cell:
+            rows.append([
+                cell["env"],
+                cell["workload"],
+                "THP" if cell["thp"] else "4KB",
+                cell.get("design") or "(group)",
+                f"ERROR: {cell['error']}",
+                "-", "-", "-",
+            ])
+            continue
         speedup = cell.get("walk_speedup")
         rows.append([
             cell["env"],

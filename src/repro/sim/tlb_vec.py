@@ -48,6 +48,10 @@ _CODE_TO_SIZE = (PageSize.SIZE_4K, PageSize.SIZE_2M, PageSize.SIZE_1G)
 _CODE_BITS = 2
 _ASID_SHIFT = 48
 
+#: 2 MB-unit shift: page size is uniform per 2 MB region (see
+#: ``SizeClassifier``), so classification batches per unique unit.
+_UNIT_SHIFT = int(PageSize.SIZE_2M)
+
 
 def classify_trace(trace: np.ndarray, size_lookup) -> np.ndarray:
     """Per-reference page-size shifts with one lookup per 2 MB unit.
@@ -60,13 +64,13 @@ def classify_trace(trace: np.ndarray, size_lookup) -> np.ndarray:
     ``batch_units`` (see :class:`~repro.sim.simulator.SizeClassifier`)
     shares its memo dict with the scalar path.
     """
-    units = trace >> 21
+    units = trace >> _UNIT_SHIFT
     uniq, inverse = np.unique(units, return_inverse=True)
     if hasattr(size_lookup, "batch_units"):
         shifts = size_lookup.batch_units(uniq)
     else:
         shifts = np.fromiter(
-            (int(size_lookup(int(unit) << 21)) for unit in uniq.tolist()),
+            (int(size_lookup(int(unit) << _UNIT_SHIFT)) for unit in uniq.tolist()),
             dtype=np.int64, count=len(uniq),
         )
     return shifts[inverse.reshape(-1)]

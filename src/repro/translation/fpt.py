@@ -18,7 +18,14 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize
+from repro.arch import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PTE_SIZE,
+    PageSize,
+    level_index,
+    page_offset,
+)
 from repro.kernel.page_table import PTE_HUGE, PTE_PRESENT, make_pte, pte_frame
 from repro.mem.physmem import PhysicalMemory, frame_to_addr
 from repro.translation.base import MemorySubsystem, Walker, WalkRecorder, WalkResult
@@ -45,7 +52,7 @@ class FlattenedPageTable:
 
     @staticmethod
     def upper_index(va: int) -> int:
-        return (va >> 30) & (_FLAT_ENTRIES - 1)   # VA[47:30]
+        return (va >> int(PageSize.SIZE_1G)) & (_FLAT_ENTRIES - 1)   # VA[47:30]
 
     @staticmethod
     def lower_index(va: int) -> int:
@@ -62,7 +69,7 @@ class FlattenedPageTable:
 
     def huge_entry_addr(self, huge_frame: int, va: int) -> int:
         """Entry address in the dense per-region 2 MB table (VA[29:21])."""
-        return frame_to_addr(huge_frame) + ((va >> 21) & 0x1FF) * 8
+        return frame_to_addr(huge_frame) + level_index(va, 2) * PTE_SIZE
 
     # -- mapping API ----------------------------------------------------- #
 
@@ -114,7 +121,8 @@ class FlattenedPageTable:
         if leaf is not None:
             pte = self.memory.read_word(self.leaf_entry_addr(leaf, va))
             if pte & PTE_PRESENT and not pte & PTE_HUGE:
-                return (pte_frame(pte) << PAGE_SHIFT) + (va & 0xFFF), PageSize.SIZE_4K
+                return (pte_frame(pte) << PAGE_SHIFT) + page_offset(va), \
+                    PageSize.SIZE_4K
         huge = self._huge_for(va, create=False)
         if huge is not None:
             pte = self.memory.read_word(self.huge_entry_addr(huge, va))

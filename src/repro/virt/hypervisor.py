@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.analysis import sanitizer
 from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize
 from repro.kernel.kernel import Kernel
 from repro.kernel.page_table import RadixPageTable, TablePlacementPolicy
@@ -143,11 +144,19 @@ class VM:
         without further VM exits. Returns the base gPA.
         """
         base_gfn = self.guest_memory.allocator.alloc_contig(npages, movable=False)
+        if sanitizer.active():
+            # §4.5.2: a host frame backing one guest's TEAs must never be
+            # inserted into a second guest of the same host domain.
+            sanitizer.claim_frames(id(self.hypervisor.host_memory),
+                                   host_frame, npages, self.vm_id)
         for i in range(npages):
             gpa = (base_gfn + i) << PAGE_SHIFT
             if self.ept.lookup(gpa) is not None:
                 old = self.ept.unmap(gpa)
                 self._reverse.pop(old, None)
+                if old is not None and sanitizer.active():
+                    sanitizer.release_frames(id(self.hypervisor.host_memory),
+                                             old, 1)
             self.ept.map(gpa, host_frame + i, PageSize.SIZE_4K)
             self._reverse[host_frame + i] = base_gfn + i
         return base_gfn << PAGE_SHIFT

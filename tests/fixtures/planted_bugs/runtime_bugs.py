@@ -1,0 +1,118 @@
+"""Planted runtime translation bugs (the fault-injection harness).
+
+Each ``plant_*`` function builds a minimal machine, injects one
+specific invariant violation, and performs the operation whose
+``--sanitize`` hook must catch it. Every function must raise
+:class:`repro.analysis.sanitizer.SanitizerError` while the sanitizer
+is active — and complete silently while it is off, since the planted
+bugs are semantic, not crashes. See ``tests/test_sanitizer.py``.
+"""
+
+from repro.arch import PageSize
+from repro.core.tea import TEAManager, granule_shift
+from repro.hw.config import MachineConfig
+from repro.hw.pwc import PageWalkCache
+from repro.hw.tlb import TLBHierarchy
+from repro.kernel.kernel import Kernel
+from repro.kernel.page_table import RadixPageTable
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.physmem import PhysicalMemory, frame_to_addr
+from repro.virt.hypervisor import Hypervisor
+
+MB = 1 << 20
+GRANULE = 1 << granule_shift(PageSize.SIZE_4K)  # 2 MB of VA per TEA page
+
+
+def plant_misaligned_tea():
+    """TEA bookkeeping corruption: the VA span loses granule alignment.
+
+    The next management operation (here: growth) must reject the TEA —
+    a misaligned base breaks the register arithmetic of Figure 7.
+    """
+    manager = TEAManager(BuddyAllocator(4096))
+    tea = manager.create(0, 2 * GRANULE, PageSize.SIZE_4K)[0]
+    # corruption: the span slides off its granule alignment (same length,
+    # so the physical-run bookkeeping still looks plausible)
+    tea.va_start += 0x1000
+    tea.va_end += 0x1000
+    manager.expand(tea, 3 * GRANULE + 0x1000)
+
+
+def plant_out_of_range_pte():
+    """A leaf PTE pointing past the end of its physical memory domain."""
+    memory = PhysicalMemory(16 * MB)
+    table = RadixPageTable(memory)
+    table.map(0x40000000, memory.total_frames + 7, PageSize.SIZE_4K)
+
+
+def plant_cross_guest_aliasing():
+    """One host-contiguous frame run inserted into two guests (§4.5.2).
+
+    A buggy ``KVM_HC_ALLOC_TEA`` handler that reuses a live backing run
+    would let one guest read another's PTEs through its gTEA.
+    """
+    host = Kernel(memory_bytes=128 * MB)
+    hypervisor = Hypervisor(host)
+    vm1 = hypervisor.create_vm(16 * MB)
+    vm2 = hypervisor.create_vm(16 * MB)
+    run = host.memory.allocator.alloc_contig(4, movable=False)
+    vm1.map_host_frames(run, 4)
+    vm2.map_host_frames(run, 4)  # aliasing: must be caught
+
+
+def plant_stale_tlb_after_unmap():
+    """Unmap without a TLB shootdown: a stale translation stays live."""
+    memory = PhysicalMemory(16 * MB)
+    table = RadixPageTable(memory, asid=7)
+    tlb = TLBHierarchy.from_machine(MachineConfig())
+    va = 0x200000
+    table.map(va, memory.allocator.alloc_pages(0), PageSize.SIZE_4K)
+    tlb.fill(7, va, PageSize.SIZE_4K)
+    table.unmap(va)  # missing tlb.flush(): must be caught
+
+
+def plant_stale_pwc_after_relocation():
+    """Table relocation without flushing the page-walk cache."""
+    memory = PhysicalMemory(16 * MB)
+    table = RadixPageTable(memory)
+    pwc = PageWalkCache(MachineConfig().pwc, top_level=4)
+    va = 0x200000
+    table.map(va, memory.allocator.alloc_pages(0), PageSize.SIZE_4K)
+    old_frame = table.table_frame(va, 1)
+    pwc.fill(va, 1, frame_to_addr(old_frame))
+    new_frame = memory.allocator.alloc_pages(0, movable=False)
+    table.relocate_table(va, 1, new_frame)  # missing pwc.flush()
+
+
+def plant_botched_tea_migration():
+    """A TEA migration that forgets to rewrite parent entries.
+
+    ``relocate_table`` is stubbed to a no-op, modelling a kernel that
+    copies table pages without repointing the radix tree; after
+    ``finish_migration`` the leaf tables are outside the new TEA run,
+    so the DMT fetcher and the x86 walker would read different bytes.
+    """
+    memory = PhysicalMemory(64 * MB)
+    table = RadixPageTable(memory)
+    manager = TEAManager(memory.allocator)
+    for granule in range(2):
+        table.map(granule * GRANULE, memory.allocator.alloc_pages(0),
+                  PageSize.SIZE_4K)
+    tea = manager.create(0, 2 * GRANULE, PageSize.SIZE_4K)[0]
+    # fault injection: contiguity exhausted, and a relocate that does
+    # nothing but report the table's current frame
+    memory.allocator.expand_contig = lambda *args: False
+    table.relocate_table = lambda va, level, frame: table.table_frame(va, level)
+    target, migration = manager.expand(tea, 4 * GRANULE, page_table=table)
+    assert migration is not None
+    manager.finish_migration(migration)
+
+
+ALL_PLANTS = [
+    plant_misaligned_tea,
+    plant_out_of_range_pte,
+    plant_cross_guest_aliasing,
+    plant_stale_tlb_after_unmap,
+    plant_stale_pwc_after_relocation,
+    plant_botched_tea_migration,
+]

@@ -1,0 +1,14 @@
+"""Planted bugs for rule L1: address arithmetic leaving the int domain.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+def split_region(va, pa):
+    mid = va / 2            # planted L101: true division on an address
+    scaled = float(pa) * 2  # planted L102: float() on an address
+    return mid, scaled
+
+
+def suppressed_division(pa):
+    return pa / 2  # dmtlint: ignore[L101]

@@ -1,0 +1,12 @@
+"""Planted bugs for rule L103: magic page-geometry constants.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+def unit_of(va):
+    return va >> 21  # planted L103: should be PageSize.SIZE_2M
+
+
+def offset_of(addr):
+    return addr & 0xFFF  # planted L103: should be page_offset(addr)

@@ -1,0 +1,10 @@
+# dmtlint-scope: result-path
+"""Planted bug for rule L203: hash-ordered iteration on the result path.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+def ordered_output(values):
+    pending = set(values)
+    return [item for item in pending]  # planted L203: hash order

@@ -1,0 +1,9 @@
+# dmtlint-scope: costs
+"""Planted bug for rule L301: calibrated constant without provenance.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+TEA_ALLOC_MS = 13.27  # §6.3: cited, so this one is fine
+
+WALK_PENALTY_US = 17.5  # planted L301: calibrated but uncited

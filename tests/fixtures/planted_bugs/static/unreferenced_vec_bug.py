@@ -1,0 +1,11 @@
+# dmtlint-scope: vec
+"""Planted bug for rule L401: public engine function with no oracle test.
+
+The function name below must not appear in any ``tests/test_*.py`` —
+the detection test assembles it from pieces to keep it out of the L4
+corpus. Never imported — lint test data only (see ../README.md).
+"""
+
+
+def quantized_filter_hop(values):
+    return values

@@ -1,0 +1,12 @@
+"""Planted bugs for rule L2: nondeterministic random number generation.
+
+Never imported — lint test data only (see ../README.md).
+"""
+import random
+
+import numpy as np
+
+
+def jitter():
+    rng = np.random.default_rng()  # planted L201: no seed
+    return rng.normal() + random.random()  # planted L202: global RNG

@@ -1,0 +1,134 @@
+"""Runtime sanitizer: planted-bug detection, probe purity, clean paths."""
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.arch import PageSize
+from repro.hw.config import MachineConfig
+from repro.hw.pwc import PageWalkCache
+from repro.hw.tlb import TLBHierarchy
+from repro.kernel.page_table import RadixPageTable
+from repro.mem.physmem import PhysicalMemory, frame_to_addr
+from repro.sim.machine import ENVIRONMENTS, SimConfig
+from tests.fixtures.planted_bugs import runtime_bugs
+
+MB = 1 << 20
+
+
+# --------------------------------------------------------------------- #
+# Planted-bug detection (acceptance criterion)
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("plant", runtime_bugs.ALL_PLANTS,
+                         ids=lambda plant: plant.__name__)
+def test_planted_runtime_bug_detected(plant):
+    with sanitizer.enabled():
+        with pytest.raises(sanitizer.SanitizerError):
+            plant()
+
+
+@pytest.mark.parametrize("plant", runtime_bugs.ALL_PLANTS,
+                         ids=lambda plant: plant.__name__)
+def test_planted_bugs_are_silent_without_sanitizer(plant):
+    # The bugs are semantic, not crashes: only the hooks catch them.
+    assert not sanitizer.active()
+    plant()
+
+
+# --------------------------------------------------------------------- #
+# Enable/disable mechanics
+# --------------------------------------------------------------------- #
+
+def test_enabled_context_restores_inactive_state():
+    assert not sanitizer.active()
+    with sanitizer.enabled():
+        assert sanitizer.active()
+    assert not sanitizer.active()
+
+
+def test_registration_only_happens_while_active():
+    memory = PhysicalMemory(16 * MB)
+    table = RadixPageTable(memory, asid=9)
+    tlb = TLBHierarchy.from_machine(MachineConfig())  # not registered
+    va = 0x200000
+    table.map(va, memory.allocator.alloc_pages(0), PageSize.SIZE_4K)
+    tlb.fill(9, va, PageSize.SIZE_4K)
+    with sanitizer.enabled():
+        table.unmap(va)  # stale entry, but the TLB predates the sanitizer
+
+
+# --------------------------------------------------------------------- #
+# Probes are non-mutating
+# --------------------------------------------------------------------- #
+
+def test_tlb_probe_touches_no_stats_or_lru():
+    tlb = TLBHierarchy.from_machine(MachineConfig())
+    tlb.fill(1, 0x1000, PageSize.SIZE_4K)
+    before = (tlb.l1.stats.hits, tlb.l1.stats.misses,
+              tlb.stlb.stats.hits, tlb.stlb.stats.misses)
+    assert tlb.probe(1, 0x1000, PageSize.SIZE_4K)
+    assert not tlb.probe(1, 0x5000, PageSize.SIZE_4K)
+    assert not tlb.probe(2, 0x1000, PageSize.SIZE_4K)
+    after = (tlb.l1.stats.hits, tlb.l1.stats.misses,
+             tlb.stlb.stats.hits, tlb.stlb.stats.misses)
+    assert after == before
+
+
+def test_pwc_peek_touches_no_stats():
+    pwc = PageWalkCache(MachineConfig().pwc, top_level=4)
+    pwc.fill(0x200000, 1, 0xABC000)
+    before = (pwc.stats.hits, pwc.stats.misses)
+    assert pwc.peek(0x200000, 1) == 0xABC000
+    assert pwc.peek(0x40000000, 1) is None
+    assert pwc.peek(0x200000, 9) is None  # level outside the PWC
+    assert (pwc.stats.hits, pwc.stats.misses) == before
+
+
+# --------------------------------------------------------------------- #
+# Correct code stays clean under the sanitizer
+# --------------------------------------------------------------------- #
+
+def test_unmap_after_shootdown_is_clean():
+    with sanitizer.enabled():
+        memory = PhysicalMemory(16 * MB)
+        table = RadixPageTable(memory, asid=3)
+        tlb = TLBHierarchy.from_machine(MachineConfig())
+        va = 0x400000
+        table.map(va, memory.allocator.alloc_pages(0), PageSize.SIZE_4K)
+        tlb.fill(3, va, PageSize.SIZE_4K)
+        tlb.flush()  # the shootdown
+        table.unmap(va)
+
+
+def test_relocation_after_pwc_flush_is_clean():
+    with sanitizer.enabled():
+        memory = PhysicalMemory(16 * MB)
+        table = RadixPageTable(memory)
+        pwc = PageWalkCache(MachineConfig().pwc, top_level=4)
+        va = 0x200000
+        table.map(va, memory.allocator.alloc_pages(0), PageSize.SIZE_4K)
+        pwc.fill(va, 1, frame_to_addr(table.table_frame(va, 1)))
+        pwc.flush()
+        table.relocate_table(va, 1,
+                             memory.allocator.alloc_pages(0, movable=False))
+
+
+def test_released_host_frames_can_back_another_guest():
+    with sanitizer.enabled():
+        domain = 1
+        sanitizer.claim_frames(domain, 100, 4, 1)
+        sanitizer.claim_frames(domain, 100, 4, 1)  # same owner: fine
+        sanitizer.release_frames(domain, 100, 4)
+        sanitizer.claim_frames(domain, 100, 4, 2)  # after release: fine
+        sanitizer.claim_frames(2, 100, 4, 3)  # other domain: no conflict
+        with pytest.raises(sanitizer.SanitizerError):
+            sanitizer.claim_frames(domain, 102, 1, 3)
+
+
+def test_native_simulation_is_clean_under_sanitizer():
+    with sanitizer.enabled():
+        config = SimConfig(scale=4096, nrefs=2000, seed=7, sanitize=True)
+        sim = ENVIRONMENTS["native"]("GUPS", config)
+        for design in ("vanilla", "dmt"):
+            stats = sim.run(design)
+            assert stats.walks > 0

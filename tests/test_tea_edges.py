@@ -1,0 +1,82 @@
+"""TEA manager edge cases: empty VMAs, boundary spans, reallocation."""
+
+from repro.arch import PageSize
+from repro.core.tea import TEAManager, granule_shift
+from repro.kernel.page_table import RadixPageTable
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.physmem import PhysicalMemory
+
+MB = 1 << 20
+GRANULE = 1 << granule_shift(PageSize.SIZE_4K)  # 2 MB of VA per TEA page
+
+
+def test_zero_length_vma_creates_no_tea():
+    manager = TEAManager(BuddyAllocator(1024))
+    free_before = manager.allocator.free_frames
+    assert manager.create(3 * GRANULE, 3 * GRANULE, PageSize.SIZE_4K) == []
+    assert manager.teas == {}
+    assert manager.allocator.free_frames == free_before
+
+
+def test_vma_collapsing_to_owned_granules_creates_no_tea():
+    manager = TEAManager(BuddyAllocator(1024))
+    manager.create(0, 2 * GRANULE, PageSize.SIZE_4K)
+    # a sub-granule VMA inside an owned span needs no new leaf tables
+    assert manager.create(GRANULE + 0x1000, GRANULE + 0x3000,
+                          PageSize.SIZE_4K) == []
+
+
+def test_vma_spanning_a_tea_boundary_trims_to_unowned_granules():
+    manager = TEAManager(BuddyAllocator(4096))
+    first = manager.create(0, 2 * GRANULE, PageSize.SIZE_4K)[0]
+    created = manager.create(GRANULE, 4 * GRANULE, PageSize.SIZE_4K)
+    assert len(created) == 1
+    second = created[0]
+    # the overlapping granule stays with its original owner
+    assert (second.va_start, second.va_end) == (2 * GRANULE, 4 * GRANULE)
+    assert manager.owner_of(GRANULE, PageSize.SIZE_4K) is first
+    assert manager.owner_of(2 * GRANULE, PageSize.SIZE_4K) is second
+    assert manager.owner_of(3 * GRANULE, PageSize.SIZE_4K) is second
+    # register arithmetic resolves every granule to a distinct TEA frame
+    frames = {manager.frame_for_table(g * GRANULE, PageSize.SIZE_4K)
+              for g in range(4)}
+    assert len(frames) == 4
+
+
+def test_tea_inplace_expansion_when_contiguity_allows():
+    manager = TEAManager(BuddyAllocator(4096))
+    tea = manager.create(0, GRANULE, PageSize.SIZE_4K)[0]
+    grown, migration = manager.expand(tea, 2 * GRANULE)
+    assert migration is None and grown is tea
+    assert tea.npages == 2
+    assert manager.owner_of(GRANULE, PageSize.SIZE_4K) is tea
+
+
+def test_tea_reallocation_after_vma_growth():
+    memory = PhysicalMemory(64 * MB)
+    table = RadixPageTable(memory)
+    manager = TEAManager(memory.allocator)
+    for granule in range(2):
+        table.map(granule * GRANULE, memory.allocator.alloc_pages(0),
+                  PageSize.SIZE_4K)
+    tea = manager.create(0, 2 * GRANULE, PageSize.SIZE_4K)[0]
+    old_base = tea.base_frame
+    # force the migration path: in-place contiguity exhausted
+    memory.allocator.expand_contig = lambda *args: False
+    target, migration = manager.expand(tea, 6 * GRANULE, page_table=table)
+    assert migration is not None and target is not tea
+    assert not target.present  # P-bit clear until migration completes (§4.3)
+    finished = manager.finish_migration(migration)
+    assert finished is target and target.present
+    assert (target.va_start, target.va_end) == (0, 6 * GRANULE)
+    assert target.npages == 6
+    # the old TEA is retired and its run released
+    assert tea.tea_id not in manager.teas
+    assert not manager.owns_frame(old_base)
+    # every leaf table landed where the register arithmetic expects it
+    for granule in range(2):
+        va = granule * GRANULE
+        assert table.table_frame(va, 1) == target.frame_for_table(va)
+    # ownership rebound to the new TEA across the whole grown span
+    for granule in range(6):
+        assert manager.owner_of(granule * GRANULE, PageSize.SIZE_4K) is target
