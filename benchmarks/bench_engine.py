@@ -1,14 +1,22 @@
-"""Engine microbenchmarks: vectorized stage 1 and the parallel sweep.
+"""Engine microbenchmarks: vectorized stages 1 and 2, the parallel sweep.
 
 Not a paper figure — this bench guards the simulator's own performance:
 
 * the vectorized TLB-filter engine must beat the scalar oracle by >= 3x
   on the reference stage-1 run (GUPS, native, nrefs=40000) while
   emitting a bit-identical miss stream;
+* the batched stage-2 replay engine must beat the scalar walker-replay
+  oracle by >= 3x on the same miss stream for at least one vectorized
+  design, with bit-identical :class:`WalkStats` — results are recorded
+  in ``BENCH_engine.json`` at the repo root;
 * the process-parallel sweep runner must produce the same cells as an
   inline run, and scale with worker count when cores are available.
+
+``REPRO_BENCH_MIN_SPEEDUP`` relaxes the 3x targets for smoke runs on
+loaded or tiny-trace CI machines.
 """
 
+import json
 import os
 import time
 
@@ -16,7 +24,9 @@ import numpy as np
 
 from repro.analysis.report import banner, format_table
 from repro.sim.simulator import (
+    Stage1Cache,
     make_size_lookup,
+    replay_walks,
     tlb_accept_rates,
     tlb_filter,
 )
@@ -27,7 +37,13 @@ from conftest import SCALE
 
 #: The acceptance target for the reference stage-1 run.
 NREFS = int(os.environ.get("REPRO_BENCH_ENGINE_NREFS", "40000"))
-MIN_SPEEDUP = 3.0
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+#: Timing rounds per engine for the stage-2 comparison.
+ROUNDS = int(os.environ.get("REPRO_BENCH_ENGINE_ROUNDS", "5"))
+
+#: Where the stage-2 engine comparison is archived (repo root).
+RESULTS_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "BENCH_engine.json")
 
 
 def _stage1_inputs():
@@ -83,10 +99,87 @@ def test_stage1_vectorized_speedup(benchmark):
     )
 
 
+#: The stage-2 comparison designs (both vectorizable natively).
+STAGE2_DESIGNS = ("vanilla", "dmt")
+
+
+def test_stage2_vectorized_speedup(benchmark):
+    """Batched walk replay vs the scalar oracle on the GUPS miss stream.
+
+    One design clearing ``MIN_SPEEDUP`` is the acceptance bar; every
+    design must be bit-identical. A shared :class:`Stage1Cache` keeps
+    the trace + TLB filter to a single computation across the fresh
+    machines each timed run needs (replay mutates cache/PWC state).
+    Rounds alternate engines so a host-load burst degrades both sides
+    of the best-of-``ROUNDS`` comparison, not just one.
+    """
+    config = SimConfig(scale=SCALE, nrefs=NREFS)
+    stage1 = Stage1Cache()
+
+    rows, results = [], []
+    for design in STAGE2_DESIGNS:
+        seconds = {"scalar": [], "vec": []}
+        stats = {}
+        for _ in range(ROUNDS):
+            for engine in ("scalar", "vec"):
+                sim = NativeSimulation("GUPS", config, stage1=stage1)
+                walker = sim.walker(design)
+                start = time.perf_counter()
+                result = replay_walks(walker, sim.tlb.miss_vas,
+                                      engine=engine)
+                seconds[engine].append(time.perf_counter() - start)
+                stats[engine] = result
+        best = {engine: min(times) for engine, times in seconds.items()}
+        speedup = best["scalar"] / best["vec"]
+        walks = stats["vec"].walks
+        assert stats["scalar"] == stats["vec"], \
+            f"{design}: engines diverged — vec must be bit-identical"
+        rows.append([design, f"{best['scalar'] * 1e3:.1f} ms",
+                     f"{best['vec'] * 1e3:.1f} ms",
+                     f"{speedup:.2f}x", walks])
+        results.append({
+            "design": design,
+            "scalar_seconds": best["scalar"],
+            "vec_seconds": best["vec"],
+            "speedup": speedup,
+            "walks": walks,
+        })
+
+    print(banner(f"Stage-2 engine: GUPS native, nrefs={NREFS}"))
+    print(format_table(
+        ["design", f"scalar (best of {ROUNDS})",
+         f"vec (best of {ROUNDS})", "speedup", "walks"], rows,
+    ))
+    best_speedup = max(entry["speedup"] for entry in results)
+    print(f"best speedup: {best_speedup:.2f}x (target >= {MIN_SPEEDUP}x); "
+          f"stage 1 computed {stage1.computed}x, reused {stage1.reused}x")
+
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump({
+            "meta": {"workload": "GUPS", "env": "native", "scale": SCALE,
+                     "nrefs": NREFS, "min_speedup": MIN_SPEEDUP,
+                     "rounds": ROUNDS},
+            "stage2": results,
+        }, handle, indent=2)
+        handle.write("\n")
+
+    assert stage1.computed == 1, \
+        "every machine build past the first must reuse the stage-1 memo"
+    assert best_speedup >= MIN_SPEEDUP, \
+        f"batched stage 2 only {best_speedup:.2f}x over the scalar oracle"
+
+    sim = NativeSimulation("GUPS", config, stage1=stage1)
+    benchmark.pedantic(
+        lambda: replay_walks(sim.walker("dmt"), sim.tlb.miss_vas,
+                             engine="vec"),
+        rounds=3, iterations=1,
+    )
+
+
 def _telemetry_free(document):
     """Sweep cells minus the fields that legitimately vary per run."""
     volatile = ("replay_seconds", "walks_per_second", "build_seconds",
-                "peak_rss_kb", "worker_pid")
+                "stage1_seconds", "peak_rss_kb", "worker_pid")
     return [{k: v for k, v in cell.items() if k not in volatile}
             for cell in document["cells"]]
 

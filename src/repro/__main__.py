@@ -6,6 +6,7 @@ Examples::
     python -m repro run --workload GUPS --env virt --designs vanilla,pvdmt
     python -m repro run --workload Redis --env native --thp --nrefs 40000
     python -m repro run --workload GUPS --env native --levels 5
+    python -m repro run --workload GUPS --env virt --walk-engine scalar
     python -m repro sweep --env native --workers 4
     python -m repro sweep --env native,virt --pages both --out sweep.json
     python -m repro table1
@@ -48,7 +49,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = SimConfig(scale=args.scale, nrefs=args.nrefs, seed=args.seed,
                        thp=args.thp, levels=args.levels,
                        register_count=args.register_count,
-                       engine=args.engine, sanitize=args.sanitize)
+                       engine=args.engine, walk_engine=args.walk_engine,
+                       sanitize=args.sanitize)
     print(f"building {args.env} machine for {args.workload} "
           f"(scale 1/{args.scale}, {args.nrefs} refs, "
           f"{'THP' if args.thp else '4KB'}) ...")
@@ -63,8 +65,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
-    stats = {design: sim.run(design) for design in designs}
-    vanilla = stats.get("vanilla") or sim.run("vanilla")
+    try:
+        stats = {design: sim.run(design) for design in designs}
+        vanilla = stats.get("vanilla") or sim.run("vanilla")
+    except ValueError as error:
+        # e.g. --walk-engine vec forced onto a design with no batched
+        # path; restrict --designs or use auto/scalar.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     rows = []
     for design, st in stats.items():
         row = [design, st.mean_latency,
@@ -105,7 +113,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         out_path=args.out, progress=print,
         scale=args.scale, nrefs=args.nrefs, seed=args.seed,
         levels=args.levels, register_count=args.register_count,
-        sanitize=args.sanitize,
+        walk_engine=args.walk_engine, sanitize=args.sanitize,
     )
     print(format_table(
         ["env", "workload", "pages", "design", "cycles/walk",
@@ -161,6 +169,12 @@ def main(argv=None) -> int:
                               "extension; default 4)")
     simopts.add_argument("--register-count", type=int, default=16,
                          help="DMT registers per set (default 16, Fig. 13)")
+    simopts.add_argument("--walk-engine", choices=("auto", "vec", "scalar"),
+                         default="auto",
+                         help="stage-2 replay engine: 'vec' batches walks "
+                              "per design, 'scalar' is the reference "
+                              "oracle, 'auto' picks vec when the design "
+                              "supports it (default)")
     simopts.add_argument("--sanitize", action="store_true",
                          help="enable the runtime translation sanitizer "
                               "(invariant checks on TEAs, PTEs, TLB/PWC "

@@ -48,7 +48,7 @@ RESULT_PATH_DIRS = ("sim", "core", "translation")
 #: (parent dir, file name) pairs carrying calibrated cost constants.
 COSTS_FILES = (("core", "costs.py"), ("sim", "perfmodel.py"))
 #: (parent dir, file name) pairs holding vectorized-engine code.
-VEC_FILES = (("sim", "tlb_vec.py"),)
+VEC_FILES = (("sim", "tlb_vec.py"), ("sim", "walk_vec.py"))
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,25 @@ class CacheStats:
         return self.hits / self.accesses if self.accesses else 0.0
 
 
+@dataclass
+class CacheBatchView:
+    """Flat mutable view of one cache level (batched replay engine).
+
+    ``sets`` is the live set-index -> LRU-ordered line dict mapping; the
+    engine inlines :meth:`SetAssociativeCache.lookup`/``install`` over it
+    so LRU state and stats after a batched replay match the scalar
+    path's exactly.
+    """
+
+    sets: Dict[int, Dict[int, None]]
+    line_shift: int
+    num_sets: int
+    assoc: int
+    latency: int
+    name: str
+    stats: CacheStats
+
+
 class SetAssociativeCache:
     """A single LRU set-associative cache level.
 
@@ -93,6 +112,18 @@ class SetAssociativeCache:
 
     def flush(self) -> None:
         self._sets.clear()
+
+    def batch_view(self) -> CacheBatchView:
+        """Mutable flat state for the batched replay engine."""
+        return CacheBatchView(
+            sets=self._sets,
+            line_shift=self._line_shift,
+            num_sets=self._num_sets,
+            assoc=self._assoc,
+            latency=self.config.latency,
+            name=self.config.name.split("(")[0],
+            stats=self.stats,
+        )
 
 
 @dataclass

@@ -27,6 +27,37 @@ class PWCStats:
     misses: int = 0
 
 
+@dataclass
+class PWCBatchView:
+    """Flat mutable view of a :class:`PageWalkCache` (batched engine).
+
+    ``tables`` are the live per-level insertion-ordered dicts (MRU last;
+    evict = pop first). ``key_shifts[offset]`` turns a VA into the
+    offset's lookup key (``va >> key_shifts[offset]``). ``accept`` and
+    ``credit`` are the hit-thinning state, shared by reference so credit
+    updates persist.
+    """
+
+    tables: list
+    capacities: list
+    accept: Optional[list]
+    credit: list
+    key_shifts: list
+    top_level: int
+    stats: "PWCStats"
+
+
+@dataclass
+class NestedPWCBatchView:
+    """Flat mutable view of a :class:`NestedPWC` (batched engine)."""
+
+    table: dict
+    capacity: int
+    accept: float
+    stats: "PWCStats"
+    owner: "NestedPWC"   # credit lives on the owner (float, write back)
+
+
 class _LRUTable:
     """Tiny fully-associative LRU table (PWC levels hold 2..32 entries)."""
 
@@ -127,6 +158,25 @@ class PageWalkCache:
             return self._tables[offset].peek(self._key(va, level))
         return None
 
+    def batch_view(self) -> "PWCBatchView":
+        """Mutable flat state for the batched replay engine.
+
+        The engine inlines :meth:`best_entry`/:meth:`fill` over the raw
+        per-level dicts (same insertion-order LRU semantics) so the PWC
+        contents, credits, and stats after a batched replay are identical
+        to a scalar replay's.
+        """
+        return PWCBatchView(
+            tables=[table._entries for table in self._tables],
+            capacities=[table.capacity for table in self._tables],
+            accept=self._accept,
+            credit=self._credit,
+            key_shifts=[level_shift(self.top_level - offset)
+                        for offset in range(len(self._tables))],
+            top_level=self.top_level,
+            stats=self.stats,
+        )
+
     def fill(self, va: int, level: int, table_addr: int) -> None:
         """Record that the level-``level`` table for ``va`` lives at ``table_addr``."""
         offset = self.top_level - 1 - level
@@ -173,3 +223,22 @@ class NestedPWC:
 
     def flush(self) -> None:
         self._table.clear()
+
+    @property
+    def credit(self) -> float:
+        """Hit-thinning credit counter (batched engine reads/writes it)."""
+        return self._credit
+
+    @credit.setter
+    def credit(self, value: float) -> None:
+        self._credit = value
+
+    def batch_view(self) -> NestedPWCBatchView:
+        """Mutable flat state for the batched replay engine."""
+        return NestedPWCBatchView(
+            table=self._table._entries,
+            capacity=self._table.capacity,
+            accept=self._accept,
+            stats=self.stats,
+            owner=self,
+        )

@@ -12,6 +12,7 @@ from repro.sim.multiproc import MultiProcessSimulation, MultiProcessStats
 from repro.sim.perfmodel import AppliedModel, apply_model, baseline_times, model_from_stats
 from repro.sim.simulator import (
     SizeClassifier,
+    Stage1Cache,
     TLBFilterResult,
     WalkStats,
     geomean,
@@ -39,6 +40,7 @@ __all__ = [
     "baseline_times",
     "model_from_stats",
     "SizeClassifier",
+    "Stage1Cache",
     "TLBFilterResult",
     "WalkStats",
     "geomean",

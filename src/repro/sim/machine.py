@@ -13,6 +13,7 @@ alongside.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -25,6 +26,7 @@ from repro.core.registers import REGISTERS_PER_SET, RegisterSet
 from repro.hw.config import MachineConfig, xeon_gold_6138
 from repro.kernel.kernel import Kernel
 from repro.sim.simulator import (
+    Stage1Cache,
     TLBFilterResult,
     WalkStats,
     make_size_lookup,
@@ -97,6 +99,12 @@ class SimConfig:
     #: "scalar" (the dict-backed reference oracle). Both are
     #: bit-identical; the oracle exists for equivalence testing.
     engine: str = "vec"
+    #: Stage-2 replay engine: "auto" (batched :mod:`repro.sim.walk_vec`
+    #: when the design supports it, scalar otherwise — the default),
+    #: "vec" (batched, erroring on unsupported designs), or "scalar"
+    #: (the per-walk reference oracle). All paths are bit-identical on
+    #: supported designs.
+    walk_engine: str = "auto"
     #: Enable the runtime translation sanitizer
     #: (:mod:`repro.analysis.sanitizer`) for this run.
     sanitize: bool = False
@@ -117,6 +125,11 @@ class SimConfig:
         if self.engine not in ("vec", "scalar"):
             raise ValueError(
                 f"engine={self.engine!r}: expected 'vec' or 'scalar'"
+            )
+        if self.walk_engine not in ("auto", "vec", "scalar"):
+            raise ValueError(
+                f"walk_engine={self.walk_engine!r}: expected 'auto', "
+                f"'vec' or 'scalar'"
             )
         if self.scale < 1:
             raise ValueError(f"scale={self.scale} must be >= 1")
@@ -159,12 +172,19 @@ class _SimulationBase:
 
     designs: tuple = ()
 
-    def __init__(self, workload_name: str, config: SimConfig):
+    def __init__(self, workload_name: str, config: SimConfig,
+                 stage1: Optional[Stage1Cache] = None):
         self.config = config
         if config.sanitize:
             sanitizer.enable()
         self.workload = generators.get(workload_name, config.scale)
         self._stats_cache: Dict[str, WalkStats] = {}
+        #: Optional sweep-wide stage-1 memo; sims sharing one instance
+        #: compute the trace + TLB filter once per input signature.
+        self._stage1 = stage1
+        #: Stage-1 telemetry, set by :meth:`_trace_and_filter`.
+        self.stage1_seconds = 0.0
+        self.stage1_reused = False
 
     def _memsys(self) -> MemorySubsystem:
         ws = paper_ws = None
@@ -192,21 +212,47 @@ class _SimulationBase:
                 self.tlb.miss_vas,
                 warmup_fraction=self.config.warmup_fraction,
                 collect_steps=collect_steps,
+                engine=self.config.walk_engine,
             )
         return self._stats_cache[key]
 
+    def _stage1_key(self) -> tuple:
+        """Stage-1 input signature: everything the miss stream depends on.
+
+        Environment is deliberately absent — the workload layout, trace,
+        page sizes, and TLB acceptance rates are functions of the
+        workload and these config knobs alone, so environments sharing
+        the signature share the miss stream (pinned by test).
+        """
+        cfg = self.config
+        return (self.workload.name, cfg.scale, cfg.nrefs, cfg.seed,
+                cfg.thp, cfg.levels, cfg.engine, cfg.scale_mmu_caches)
+
     def _trace_and_filter(self, process, layout) -> TLBFilterResult:
-        trace = self.workload.generate_trace(layout, self.config.nrefs,
-                                             self.config.seed)
-        accept = None
-        if self.config.scale_mmu_caches:
-            ws = self.workload.working_set_bytes()
-            paper_ws = int(self.workload.paper_working_set_gb * (1 << 30))
-            if ws < paper_ws:
-                accept = tlb_accept_rates(self.config.machine, ws, paper_ws)
-        return tlb_filter(trace, self.config.machine,
-                          make_size_lookup(process.page_table),
-                          accept_rates=accept, engine=self.config.engine)
+        def build() -> TLBFilterResult:
+            trace = self.workload.generate_trace(layout, self.config.nrefs,
+                                                 self.config.seed)
+            accept = None
+            if self.config.scale_mmu_caches:
+                ws = self.workload.working_set_bytes()
+                paper_ws = int(self.workload.paper_working_set_gb * (1 << 30))
+                if ws < paper_ws:
+                    accept = tlb_accept_rates(self.config.machine, ws,
+                                              paper_ws)
+            return tlb_filter(trace, self.config.machine,
+                              make_size_lookup(process.page_table),
+                              accept_rates=accept, engine=self.config.engine)
+
+        if self._stage1 is None:
+            start = time.perf_counter()
+            result = build()
+            self.stage1_seconds = time.perf_counter() - start
+            self.stage1_reused = False
+            return result
+        result = self._stage1.fetch(self._stage1_key(), build)
+        self.stage1_seconds = self._stage1.last_seconds
+        self.stage1_reused = self._stage1.last_reused
+        return result
 
 
 class NativeSimulation(_SimulationBase):
@@ -214,8 +260,9 @@ class NativeSimulation(_SimulationBase):
 
     designs = ("vanilla", "fpt", "ecpt", "asap", "dmt")
 
-    def __init__(self, workload_name: str, config: Optional[SimConfig] = None):
-        super().__init__(workload_name, config or SimConfig())
+    def __init__(self, workload_name: str, config: Optional[SimConfig] = None,
+                 stage1: Optional[Stage1Cache] = None):
+        super().__init__(workload_name, config or SimConfig(), stage1)
         ws = self.workload.working_set_bytes()
         mem_bytes = _page_align(ws * 2 + 256 * _MB)
         self.kernel = Kernel(memory_bytes=mem_bytes, thp_enabled=self.config.thp,
@@ -270,8 +317,9 @@ class VirtSimulation(_SimulationBase):
     designs = ("vanilla", "shadow", "fpt", "ecpt", "agile", "asap",
                "dmt", "pvdmt")
 
-    def __init__(self, workload_name: str, config: Optional[SimConfig] = None):
-        super().__init__(workload_name, config or SimConfig())
+    def __init__(self, workload_name: str, config: Optional[SimConfig] = None,
+                 stage1: Optional[Stage1Cache] = None):
+        super().__init__(workload_name, config or SimConfig(), stage1)
         cfg = self.config
         ws = self.workload.working_set_bytes()
         guest_bytes = _page_align(int(ws * 1.3) + 128 * _MB)
@@ -423,8 +471,9 @@ class NestedSimulation(_SimulationBase):
 
     designs = ("vanilla", "pvdmt")
 
-    def __init__(self, workload_name: str, config: Optional[SimConfig] = None):
-        super().__init__(workload_name, config or SimConfig())
+    def __init__(self, workload_name: str, config: Optional[SimConfig] = None,
+                 stage1: Optional[Stage1Cache] = None):
+        super().__init__(workload_name, config or SimConfig(), stage1)
         cfg = self.config
         ws = self.workload.working_set_bytes()
         l2_bytes = _page_align(int(ws * 1.3) + 128 * _MB)

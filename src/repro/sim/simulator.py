@@ -13,13 +13,20 @@ flat set/way arrays; the scalar :class:`~repro.hw.tlb.TLBHierarchy` path
 is kept as the reference oracle (``engine="scalar"``). The two are
 bit-identical by construction and by test
 (``tests/test_tlb_vec.py``).
+
+Stage 2 mirrors that structure: :func:`replay_walks` is the scalar
+oracle and dispatcher, and :mod:`repro.sim.walk_vec` is the batched
+engine for the designs with a planable walk (radix and DMT/pvDMT;
+``tests/test_walk_vec.py`` pins bit-identity). ``engine="auto"`` picks
+the batched path whenever the walker supports it.
 """
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -182,6 +189,10 @@ class WalkStats:
     ref_count: int = 0
     #: per-position mean breakdown for Figure 16 (tag -> [sum, count])
     step_cycles: Dict[str, List[float]] = field(default_factory=dict)
+    #: Which stage-2 engine produced these stats ("scalar" or "vec").
+    #: Telemetry only — excluded from equality so parity tests can
+    #: compare vec and scalar WalkStats directly.
+    engine: str = field(default="scalar", compare=False)
 
     @property
     def mean_latency(self) -> float:
@@ -203,11 +214,24 @@ class WalkStats:
         }
 
 
+#: Misses converted per chunk by the scalar replay loop: slices convert
+#: through ``.tolist()`` piecewise instead of materializing the whole
+#: miss stream as one Python list up front.
+_REPLAY_CHUNK = 1 << 16
+
+
+def _chunked_ints(vas: np.ndarray, start: int, stop: int):
+    """Yield ``vas[start:stop]`` as Python ints, one chunk at a time."""
+    for lo in range(start, stop, _REPLAY_CHUNK):
+        yield from vas[lo:min(lo + _REPLAY_CHUNK, stop)].tolist()
+
+
 def replay_walks(
     walker: Walker,
     miss_vas: Union[np.ndarray, Sequence[int]],
     warmup_fraction: float = 0.1,
     collect_steps: bool = False,
+    engine: str = "scalar",
 ) -> WalkStats:
     """Run stage 2: replay the miss stream through one design.
 
@@ -216,17 +240,38 @@ def replay_walks(
     measures steady state over multi-billion-instruction traces). When
     ``collect_steps`` is off the loop keeps its counters in locals and
     allocates nothing per walk beyond what the walker itself returns.
+
+    ``engine`` selects the stage-2 path: ``"scalar"`` (this loop, the
+    reference oracle), ``"vec"`` (:mod:`repro.sim.walk_vec`, raising for
+    walkers without a batched path), or ``"auto"`` (vec when the walker
+    supports it, scalar otherwise). All paths are bit-identical on
+    supported designs (``tests/test_walk_vec.py``).
     """
-    vas = miss_vas.tolist() if isinstance(miss_vas, np.ndarray) \
-        else list(miss_vas)
+    if engine not in ("scalar", "vec", "auto"):
+        raise ValueError(f"unknown stage-2 engine {engine!r} "
+                         "(expected 'scalar', 'vec' or 'auto')")
+    if engine != "scalar":
+        from repro.sim import walk_vec
+        if walk_vec.supports(walker):
+            return walk_vec.replay_walks_vec(
+                walker, miss_vas,
+                warmup_fraction=warmup_fraction,
+                collect_steps=collect_steps,
+            )
+        if engine == "vec":
+            raise ValueError(
+                f"walker {walker.name!r} has no batched replay path "
+                "(use engine='auto' or 'scalar')")
+    vas = np.asarray(miss_vas, dtype=np.int64)
     stats = WalkStats(design=walker.name)
-    warmup = int(len(vas) * warmup_fraction)
+    total = len(vas)
+    warmup = int(total * warmup_fraction)
     translate = walker.translate
-    for va in vas[:warmup]:
+    for va in _chunked_ints(vas, 0, warmup):
         translate(va)
     if not collect_steps:
         walks = total_cycles = ref_count = fallbacks = 0
-        for va in vas[warmup:]:
+        for va in _chunked_ints(vas, warmup, total):
             result = translate(va)
             walks += 1
             total_cycles += result.cycles
@@ -238,7 +283,7 @@ def replay_walks(
         stats.ref_count = ref_count
         stats.fallbacks = fallbacks
         return stats
-    for va in vas[warmup:]:
+    for va in _chunked_ints(vas, warmup, total):
         result = translate(va)
         stats.walks += 1
         stats.total_cycles += result.cycles
@@ -260,6 +305,49 @@ def replay_walks(
                 bucket[0] += ref.latency
                 bucket[1] += 1
     return stats
+
+
+class Stage1Cache:
+    """Sweep-wide stage-1 memo: trace + TLB-miss stream, computed once.
+
+    Grid cells that share a stage-1 input signature — workload, scale,
+    trace length, seed, THP mode, tree depth, filter engine — produce
+    the same miss stream regardless of environment: the workload layout
+    and trace are deterministic in the process address space, and the
+    TLB filter sees only virtual addresses and page sizes
+    (``tests/test_walk_vec.py`` pins the cross-environment identity).
+    A sweep group shares one instance across its environments so the
+    trace is generated and TLB-filtered once per (workload, config,
+    THP) group instead of once per environment.
+
+    ``fetch`` records telemetry: ``last_seconds`` is the stage-1 wall
+    time of the entry served (the original compute time when reused)
+    and ``last_reused`` whether it came from the memo.
+    """
+
+    def __init__(self):
+        self._entries: Dict[Tuple, Tuple[TLBFilterResult, float]] = {}
+        self.computed = 0
+        self.reused = 0
+        self.last_seconds = 0.0
+        self.last_reused = False
+
+    def fetch(self, key: Tuple,
+              build: Callable[[], TLBFilterResult]) -> TLBFilterResult:
+        entry = self._entries.get(key)
+        if entry is None:
+            start = time.perf_counter()
+            result = build()
+            seconds = time.perf_counter() - start
+            self._entries[key] = (result, seconds)
+            self.computed += 1
+            self.last_seconds = seconds
+            self.last_reused = False
+            return result
+        self.reused += 1
+        self.last_seconds = entry[1]
+        self.last_reused = True
+        return entry[0]
 
 
 def geomean(values: Sequence[float]) -> float:

@@ -2,15 +2,21 @@
 
 A *sweep* evaluates every cell of the (environment × workload × design ×
 page-size) grid — the design-space exploration behind Figures 14/15/17.
-Machine construction and stage 1 are shared per (environment, workload,
-page-size) group, exactly as :mod:`repro.sim.machine` shares them across
-designs; groups are independent, so they fan out across worker processes
-with :class:`concurrent.futures.ProcessPoolExecutor`.
+A group task covers one (workload, page-size) pair across *all* swept
+environments: the worker shares one
+:class:`~repro.sim.simulator.Stage1Cache` across them, so the trace and
+TLB-miss stream are computed once per group and reused by every
+environment and design cell (the miss stream depends only on the
+workload and config, not the environment). Groups are independent, so
+they fan out across worker processes with
+:class:`concurrent.futures.ProcessPoolExecutor`.
 
 Each grid cell reports telemetry alongside its simulation statistics:
-replay wall time, walk throughput, the worker's peak RSS, and the
-group's machine-build time. The whole sweep serializes to a JSON
-document (``meta`` + ``cells``) so runs can be archived and diffed.
+stage-1 wall time and whether it was served from the group's memo,
+replay wall time and the stage-2 engine used, walk throughput, the
+worker's peak RSS, and the machine-build time. The whole sweep
+serializes to a JSON document (``meta`` + ``cells``) so runs can be
+archived and diffed.
 
 Exposed through ``python -m repro sweep`` and reused by
 ``benchmarks/conftest.py``'s ``SimCache``.
@@ -26,23 +32,26 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.machine import ENVIRONMENTS, SimConfig
+from repro.sim.simulator import Stage1Cache
 
 #: The paper's seven evaluation workloads (Table 1 order).
 ALL_WORKLOADS = ["Redis", "Memcached", "GUPS", "BTree", "Canneal",
                  "XSBench", "Graph500"]
 
-#: A group task: everything a worker needs, as picklable primitives.
-GroupTask = Tuple[str, str, bool, Optional[Tuple[str, ...]], Dict]
+#: A group task — one (workload, THP) pair across every swept
+#: environment — as picklable primitives.
+GroupTask = Tuple[Tuple[str, ...], str, bool, Optional[Tuple[str, ...]], Dict]
 
 
-def build_sim(env: str, workload: str, config: SimConfig):
+def build_sim(env: str, workload: str, config: SimConfig,
+              stage1: Optional[Stage1Cache] = None):
     """Construct the simulation machine for one grid group."""
     try:
         env_cls = ENVIRONMENTS[env]
     except KeyError:
         raise KeyError(f"unknown environment {env!r}; "
                        f"have {sorted(ENVIRONMENTS)}") from None
-    return env_cls(workload, config)
+    return env_cls(workload, config, stage1=stage1)
 
 
 def peak_rss_kb() -> int:
@@ -68,59 +77,71 @@ def error_cell(env: str, workload: str, thp: bool,
 
 
 def run_group(task: GroupTask) -> List[Dict]:
-    """Run one (env, workload, thp) group: build once, replay all designs.
+    """Run one (workload, thp) group across its environments.
 
-    Returns one telemetry dict per grid cell; a design that raises
-    yields an error cell while the group's other designs still complete
-    (a failed machine build fails the whole group). Module-level so the
+    The group shares one :class:`Stage1Cache`, so the trace and TLB-miss
+    stream are computed by the first environment and reused by the rest
+    (each cell's ``stage1_reused`` telemetry records which). Returns one
+    telemetry dict per grid cell; a design that raises yields an error
+    cell while the group's other designs still complete (a failed
+    machine build fails that environment's cells). Module-level so the
     process pool can pickle it.
     """
-    env, workload, thp, designs, config_kwargs = task
-    try:
-        config = SimConfig(thp=thp, **config_kwargs)
-        build_start = time.perf_counter()
-        sim = build_sim(env, workload, config)
-        build_seconds = time.perf_counter() - build_start
-    except Exception as exc:
-        return [error_cell(env, workload, thp, None, exc)]
-
-    available = list(sim.designs)
-    requested = [d for d in (designs or available) if d in available]
+    envs, workload, thp, designs, config_kwargs = task
+    stage1 = Stage1Cache()
     cells: List[Dict] = []
-    latency: Dict[str, float] = {}
-    for design in requested:
-        replay_start = time.perf_counter()
+    for env in envs:
         try:
-            stats = sim.run(design)
+            config = SimConfig(thp=thp, **config_kwargs)
+            build_start = time.perf_counter()
+            sim = build_sim(env, workload, config, stage1=stage1)
+            build_seconds = time.perf_counter() - build_start
         except Exception as exc:
-            cells.append(error_cell(env, workload, thp, design, exc))
+            cells.append(error_cell(env, workload, thp, None, exc))
             continue
-        replay_seconds = time.perf_counter() - replay_start
-        latency[design] = stats.mean_latency
-        cells.append({
-            "env": env,
-            "workload": workload,
-            "design": design,
-            "thp": thp,
-            "walks": stats.walks,
-            "mean_latency": stats.mean_latency,
-            "fallback_rate": stats.fallback_rate,
-            "miss_count": sim.tlb.miss_count,
-            "total_refs": sim.tlb.total_refs,
-            "tlb_miss_rate": sim.tlb.miss_rate,
-            "replay_seconds": replay_seconds,
-            "walks_per_second": (stats.walks / replay_seconds
-                                 if replay_seconds > 0 else 0.0),
-            "build_seconds": build_seconds,
-            "peak_rss_kb": peak_rss_kb(),
-            "worker_pid": os.getpid(),
-        })
-    vanilla = latency.get("vanilla")
-    for cell in cells:
-        if "error" in cell:
-            continue
-        cell["walk_speedup"] = (vanilla / cell["mean_latency"]
-                                if vanilla and cell["mean_latency"] else None)
+
+        available = list(sim.designs)
+        requested = [d for d in (designs or available) if d in available]
+        env_cells: List[Dict] = []
+        latency: Dict[str, float] = {}
+        for design in requested:
+            replay_start = time.perf_counter()
+            try:
+                stats = sim.run(design)
+            except Exception as exc:
+                env_cells.append(error_cell(env, workload, thp, design, exc))
+                continue
+            replay_seconds = time.perf_counter() - replay_start
+            latency[design] = stats.mean_latency
+            env_cells.append({
+                "env": env,
+                "workload": workload,
+                "design": design,
+                "thp": thp,
+                "walks": stats.walks,
+                "mean_latency": stats.mean_latency,
+                "fallback_rate": stats.fallback_rate,
+                "miss_count": sim.tlb.miss_count,
+                "total_refs": sim.tlb.total_refs,
+                "tlb_miss_rate": sim.tlb.miss_rate,
+                "stage1_seconds": sim.stage1_seconds,
+                "stage1_reused": sim.stage1_reused,
+                "walk_engine": stats.engine,
+                "replay_seconds": replay_seconds,
+                "walks_per_second": (stats.walks / replay_seconds
+                                     if replay_seconds > 0 else 0.0),
+                "build_seconds": build_seconds,
+                "peak_rss_kb": peak_rss_kb(),
+                "worker_pid": os.getpid(),
+            })
+        vanilla = latency.get("vanilla")
+        for cell in env_cells:
+            if "error" in cell:
+                continue
+            cell["walk_speedup"] = (
+                vanilla / cell["mean_latency"]
+                if vanilla and cell["mean_latency"] else None)
+        cells.extend(env_cells)
     return cells
 
 
@@ -129,11 +150,16 @@ def grid_tasks(envs: Sequence[str],
                designs: Optional[Sequence[str]] = None,
                thp_modes: Sequence[bool] = (False,),
                **config_kwargs) -> List[GroupTask]:
-    """Enumerate the group tasks of a sweep."""
+    """Enumerate the group tasks of a sweep.
+
+    One task per (workload, THP) pair covering every environment, so a
+    single worker computes stage 1 once and replays it everywhere.
+    """
     names = list(workloads or ALL_WORKLOADS)
     wanted = tuple(designs) if designs else None
-    return [(env, workload, thp, wanted, dict(config_kwargs))
-            for env in envs for workload in names for thp in thp_modes]
+    env_tuple = tuple(envs)
+    return [(env_tuple, workload, thp, wanted, dict(config_kwargs))
+            for workload in names for thp in thp_modes]
 
 
 def run_sweep(envs: Sequence[str] = ("native",),
@@ -168,7 +194,7 @@ def run_sweep(envs: Sequence[str] = ("native",),
         for task in tasks:
             cells.extend(run_group(task))
             done += 1
-            notify(f"[{done}/{len(tasks)}] {task[0]}/{task[1]}"
+            notify(f"[{done}/{len(tasks)}] {'+'.join(task[0])}/{task[1]}"
                    f"{' thp' if task[2] else ''} done (inline)")
     else:
         with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
@@ -181,13 +207,15 @@ def run_sweep(envs: Sequence[str] = ("native",),
                     # run_group catches cell failures itself; reaching here
                     # means the worker process died (OOM kill, segfault) or
                     # the result failed to unpickle — record the group as
-                    # an error instead of poisoning the whole sweep.
-                    group_cells = [error_cell(task[0], task[1], task[2],
-                                              None, exc)]
+                    # an error per environment instead of poisoning the
+                    # whole sweep.
+                    group_cells = [error_cell(env, task[1], task[2],
+                                              None, exc)
+                                   for env in task[0]]
                 cells.extend(group_cells)
                 done += 1
                 failed = sum(1 for cell in group_cells if "error" in cell)
-                notify(f"[{done}/{len(tasks)}] {task[0]}/{task[1]}"
+                notify(f"[{done}/{len(tasks)}] {'+'.join(task[0])}/{task[1]}"
                        f"{' thp' if task[2] else ''} "
                        f"{'FAILED' if failed else 'done'}")
     wall_seconds = time.time() - started

@@ -1,0 +1,1156 @@
+"""Vectorized stage-2 walk replay (the batched simulation engine).
+
+The scalar stage-2 loop calls ``walker.translate(va)`` once per TLB
+miss: every walk allocates a ``WalkRecorder`` and a ``WalkResult``,
+re-reads static page-table words, re-derives table indices, and builds
+tag strings — even in bulk mode. This module is the batched
+replacement, following the :mod:`repro.sim.tlb_vec` pattern:
+
+1. **Vectorized precompute** (NumPy + one planning pass): every stage-2
+   statistic depends only on the miss's 4 KB VPN, and the translation
+   structures are static during a replay — so the engine plans each
+   *unique* VPN once, in first-occurrence order. A plan precomputes the
+   walk chain's PTE fetch addresses, the PWC fill keys/values, and (for
+   DMT) the exact fetch groups the register file would issue, captured
+   by running the real :class:`~repro.core.fetcher.DMTFetcher` with a
+   recording callback.
+2. **Chunked state machine**: the sequential, history-dependent state —
+   PTE-cache LRU sets, PWC/nested-PWC LRU tables, credit-counter
+   thinning — runs in a tight chunked loop over the live flat dicts
+   exposed by ``batch_view()`` (:mod:`repro.hw.cache`,
+   :mod:`repro.hw.pwc`). Every LRU touch, install, eviction, and
+   float credit update replicates the scalar operation in the scalar
+   order, so cycles, ref counts, fallbacks, step breakdowns, and the
+   post-replay cache/PWC state are **bit-identical** to the oracle.
+
+Supported walkers (via :meth:`~repro.translation.base.Walker.batch_spec`):
+radix native/shadow, radix nested, and every DMT/pvDMT variant
+(register hit -> direct TEA fetch groups; register miss -> the radix
+fallback plan, with the attempt's cache traffic applied uncounted,
+exactly like the scalar ``_run``). ECPT/FPT/Agile/ASAP return no spec
+and route to the scalar loop; ``tests/test_walk_vec.py`` pins parity.
+
+The planning pass preserves lazy first-touch side effects (EPT
+backfill, shadow-table extension) by visiting unique VPNs in
+first-occurrence order — and, for DMT, by planning register-miss
+fallbacks in a second pass over only the VPNs whose attempt fell back,
+which is the order the scalar loop would have touched them.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis import sanitizer
+from repro.arch import (
+    ENTRIES_PER_TABLE,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PTE_SIZE,
+    TABLE_INDEX_BITS,
+    PageSize,
+)
+from repro.kernel.page_table import PTE_HUGE, PTE_PRESENT, pte_frame
+from repro.translation.base import BatchSpec, MemorySubsystem, Walker
+
+#: Misses processed per chunk; bounds the transient Python-list
+#: footprint regardless of miss-stream length.
+DEFAULT_CHUNK = 1 << 16
+
+_IDX_MASK = ENTRIES_PER_TABLE - 1
+_OFFSET_MASK = PAGE_SIZE - 1
+_LEAF_BYTES = {1: PageSize.SIZE_4K.bytes, 2: PageSize.SIZE_2M.bytes,
+               3: PageSize.SIZE_1G.bytes}
+
+#: Chain-node memo sentinels (a table frame may legitimately be 0).
+_DEAD = object()    # not-present PTE: the chain ends here
+_LEAF = object()    # leaf PTE (level 1 or PS bit)
+_NEXT = object()    # interior PTE: payload is the next table's address
+
+
+def supports(walker: Walker) -> bool:
+    """True when ``walker`` has a batched path bit-identical to scalar.
+
+    False routes the replay to the scalar loop: designs without a
+    :meth:`~repro.translation.base.Walker.batch_spec`, sanitized runs
+    (the sanitizer hooks the scalar structures), and non-standard cache
+    hierarchies (the inlined access path is unrolled for the 3-level
+    PTE-side hierarchy of Table 3).
+    """
+    if sanitizer.active():
+        return False
+    spec = walker.batch_spec()
+    return _spec_supported(spec, walker.memsys)
+
+
+def _spec_supported(spec: Optional[BatchSpec],
+                    memsys: MemorySubsystem) -> bool:
+    if spec is None:
+        return False
+    if len(memsys.caches.levels) != 3:
+        return False
+    if spec.kind == "radix-native":
+        return spec.page_table is not None
+    if spec.kind == "radix-nested":
+        return spec.guest_pt is not None and spec.vm is not None
+    if spec.kind == "dmt":
+        if spec.attempt is None or spec.fetcher is None \
+                or spec.fallback is None:
+            return False
+        fallback_spec = spec.fallback.batch_spec()
+        return (fallback_spec is not None
+                and fallback_spec.kind in ("radix-native", "radix-nested")
+                and _spec_supported(fallback_spec, memsys))
+    return False
+
+
+# --------------------------------------------------------------------- #
+# Flat-state primitives
+# --------------------------------------------------------------------- #
+
+def _make_access(caches):
+    """The inlined 3-level hierarchy access: ``addr -> latency``.
+
+    Replicates ``CacheHierarchy.access`` (probe L1/L2/LLC in order,
+    install into every missed level, charge the satisfying level's
+    round trip) over the live set dicts — dict probes keep membership
+    *misses* O(1), and misses dominate the PTE-side reference stream.
+    Stats accumulate in locals and flush via the returned finalizer.
+    Also returns the context tuple ``(views, memory_latency, counters)``
+    so the columnar radix runner can inline the same logic over the
+    same shared state.
+    """
+    v1, v2, v3 = (level.batch_view() for level in caches.levels)
+    s1, ls1, ns1, a1, lat1 = v1.sets, v1.line_shift, v1.num_sets, v1.assoc, v1.latency
+    s2, ls2, ns2, a2, lat2 = v2.sets, v2.line_shift, v2.num_sets, v2.assoc, v2.latency
+    s3, ls3, ns3, a3, lat3 = v3.sets, v3.line_shift, v3.num_sets, v3.assoc, v3.latency
+    mem_latency = caches.memory_latency
+    # hits L1/L2/LLC, misses L1/L2/LLC, memory accesses
+    counters = [0, 0, 0, 0, 0, 0, 0]
+
+    def access(addr: int) -> int:
+        line1 = addr >> ls1
+        idx1 = line1 % ns1
+        ways1 = s1.get(idx1)
+        if ways1 is not None and line1 in ways1:
+            del ways1[line1]
+            ways1[line1] = None
+            counters[0] += 1
+            return lat1
+        counters[3] += 1
+        line2 = addr >> ls2
+        idx2 = line2 % ns2
+        ways2 = s2.get(idx2)
+        if ways2 is not None and line2 in ways2:
+            del ways2[line2]
+            ways2[line2] = None
+            counters[1] += 1
+            latency = lat2
+        else:
+            counters[4] += 1
+            line3 = addr >> ls3
+            idx3 = line3 % ns3
+            ways3 = s3.get(idx3)
+            if ways3 is not None and line3 in ways3:
+                del ways3[line3]
+                ways3[line3] = None
+                counters[2] += 1
+                latency = lat3
+            else:
+                counters[5] += 1
+                counters[6] += 1
+                latency = mem_latency
+                if ways3 is None:
+                    s3[idx3] = {line3: None}
+                else:
+                    if len(ways3) >= a3:
+                        del ways3[next(iter(ways3))]
+                    ways3[line3] = None
+            if ways2 is None:
+                s2[idx2] = {line2: None}
+            else:
+                if len(ways2) >= a2:
+                    del ways2[next(iter(ways2))]
+                ways2[line2] = None
+        if ways1 is None:
+            s1[idx1] = {line1: None}
+        else:
+            if len(ways1) >= a1:
+                del ways1[next(iter(ways1))]
+            ways1[line1] = None
+        return latency
+
+    def finalize() -> None:
+        for view, hit_i, miss_i in ((v1, 0, 3), (v2, 1, 4), (v3, 2, 5)):
+            view.stats.hits += counters[hit_i]
+            view.stats.misses += counters[miss_i]
+        caches.memory_accesses += counters[6]
+
+    return access, finalize, ((v1, v2, v3), mem_latency, counters)
+
+
+def _make_pwc_probe(view) -> Tuple[Callable[[int], int], Callable[[], None]]:
+    """Inlined ``PageWalkCache.best_entry`` returning a chain index.
+
+    Probes offsets deepest-first; a hit at offset ``o`` (LRU-touched
+    even when credit thinning later rejects it, exactly like the scalar
+    ``_LRUTable.get``) resumes the walk at chain index ``o + 1``; a full
+    miss starts at index 0 (the root). The cached table *address* is not
+    needed — plans precompute every chain address from the static table.
+    Also returns ``(order, accept, credit, counters)`` so the native
+    chunk runner can inline the same probe over the same shared state.
+    """
+    accept = view.accept
+    credit = view.credit
+    # Deepest-first probe order with the table refs and shifts hoisted
+    # (the dict objects are stable; fills mutate them in place).
+    order = tuple((view.tables[offset], view.key_shifts[offset] - PAGE_SHIFT,
+                   offset)
+                  for offset in range(len(view.tables) - 1, -1, -1))
+    counters = [0, 0]  # hits, misses
+
+    if accept is None:
+        def probe(vpn: int) -> int:
+            for table, shift, offset in order:
+                key = vpn >> shift
+                if key in table:
+                    value = table.pop(key)
+                    table[key] = value
+                    counters[0] += 1
+                    return offset + 1
+            counters[1] += 1
+            return 0
+    else:
+        def probe(vpn: int) -> int:
+            for table, shift, offset in order:
+                key = vpn >> shift
+                if key in table:
+                    value = table.pop(key)
+                    table[key] = value
+                    credit[offset] += accept[offset]
+                    if credit[offset] >= 1.0:
+                        credit[offset] -= 1.0
+                        counters[0] += 1
+                        return offset + 1
+            counters[1] += 1
+            return 0
+
+    def finalize() -> None:
+        view.stats.hits += counters[0]
+        view.stats.misses += counters[1]
+
+    return probe, finalize, (order, accept, credit, counters)
+
+
+# --------------------------------------------------------------------- #
+# Planners
+# --------------------------------------------------------------------- #
+
+def _build_radix_native_columns(page_table, top_level: int, n_offsets: int,
+                                uniq_vpns: List[int], views):
+    """Column-major native walk chains over a static radix table.
+
+    All per-step quantities a replayed walk needs are precomputed with
+    NumPy into flat row-major lists of stride ``top_level``: the cache
+    line and set index per hierarchy level (so the hot loop does only
+    dict operations, no address arithmetic) and the PWC fill key/value
+    (key ``-1`` where the scalar walk would not fill — the leaf step, a
+    dead or huge-page terminal, or an offset beyond the PWC depth).
+    Page-table reads are pure (``PhysicalMemory.read_word``), one per
+    distinct table node via a ``(level, prefix)`` memo, so the
+    level-major traversal order cannot diverge from the scalar walk.
+
+    Returns ``(slots, columns)``: ``slots[vpn] = (row_base, chain_len)``
+    and ``columns = (line/idx per level ..., fill_key, fill_val)``.
+    """
+    read = page_table.memory.read_word
+    root = page_table.root_frame
+    vpn_arr = np.asarray(uniq_vpns, dtype=np.int64)
+    n = int(vpn_arr.size)
+    lengths = np.zeros(n, dtype=np.int64)
+    # Levels sharing a line size (and set count) share one column.
+    line_cache: dict = {}
+    idx_cache: dict = {}
+    line_mats, idx_mats = [], []
+    for view in views:
+        line_mat = line_cache.get(view.line_shift)
+        if line_mat is None:
+            line_mat = np.zeros((n, top_level), dtype=np.int64)
+            line_cache[view.line_shift] = line_mat
+        idx_key = (view.line_shift, view.num_sets)
+        idx_mat = idx_cache.get(idx_key)
+        if idx_mat is None:
+            idx_mat = np.zeros((n, top_level), dtype=np.int64)
+            idx_cache[idx_key] = idx_mat
+        line_mats.append(line_mat)
+        idx_mats.append(idx_mat)
+    fkey_mat = np.full((n, top_level), -1, dtype=np.int64)
+    fval_mat = np.zeros((n, top_level), dtype=np.int64)
+
+    nodes: dict = {}
+    active = np.arange(n)
+    frames = np.full(n, root, dtype=np.int64)
+    for depth, level in enumerate(range(top_level, 0, -1)):
+        shift = TABLE_INDEX_BITS * (level - 1)
+        sub = vpn_arr[active]
+        index = (sub >> shift) & _IDX_MASK
+        addr = (frames << PAGE_SHIFT) + index * PTE_SIZE
+        for line_shift, line_mat in line_cache.items():
+            line_mat[active, depth] = addr >> line_shift
+        for (line_shift, num_sets), idx_mat in idx_cache.items():
+            idx_mat[active, depth] = (addr >> line_shift) % num_sets
+        lengths[active] = depth + 1
+        if level == 1:
+            break
+        prefix = sub >> shift
+        uniq_p, first, inverse = np.unique(
+            prefix, return_index=True, return_inverse=True)
+        next_frames = np.zeros(uniq_p.size, dtype=np.int64)
+        continues = np.zeros(uniq_p.size, dtype=bool)
+        addr_list = addr.tolist()
+        first_list = first.tolist()
+        for j, p in enumerate(uniq_p.tolist()):
+            node = nodes.get((level, p))
+            if node is None:
+                pte = read(addr_list[first_list[j]])
+                if not pte & PTE_PRESENT:
+                    node = _DEAD
+                elif pte & PTE_HUGE:
+                    node = _LEAF
+                else:
+                    node = pte_frame(pte)
+                nodes[(level, p)] = node
+            if node is not _DEAD and node is not _LEAF:
+                continues[j] = True
+                next_frames[j] = node
+        cont_rows = continues[inverse]
+        frame_rows = next_frames[inverse]
+        if depth < n_offsets:
+            fkey_mat[active, depth] = np.where(cont_rows, prefix, -1)
+            fval_mat[active, depth] = np.where(
+                cont_rows, frame_rows << PAGE_SHIFT, 0)
+        active = active[cont_rows]
+        frames = frame_rows[cont_rows]
+        if active.size == 0:
+            break
+
+    lengths_list = lengths.tolist()
+    slots = {vpn: (row * top_level, lengths_list[row])
+             for row, vpn in enumerate(uniq_vpns)}
+    flattened: dict = {}
+
+    def flatten(mat):
+        out = flattened.get(id(mat))
+        if out is None:
+            out = mat.ravel().tolist()
+            flattened[id(mat)] = out
+        return out
+
+    columns = tuple(flatten(mat)
+                    for pair in zip(line_mats, idx_mats) for mat in pair)
+    return slots, columns + (fkey_mat.ravel().tolist(),
+                             fval_mat.ravel().tolist())
+
+
+def _build_radix_nested_plans(guest_pt, vm, top_level: int, n_offsets: int,
+                              uniq_vpns: List[int], collect: bool):
+    """Per-VPN 2D walk chains: guest dimension + memoized host chains.
+
+    A plan is ``(entries, data)``. Each guest-level entry is
+    ``(gfn, hfn, hsteps, gpte_hpa, fill, gtag, htags)``: the guest-PTE
+    page's guest frame (the nested-PWC key), its host frame (the fill
+    value), the host-dimension fetch chain replayed on a nested-PWC
+    miss, the guest-PTE's host address, and the guest-PWC fill. ``data``
+    is the leaf page's host resolution, or ``None`` for a dead chain.
+
+    Host chains are memoized per guest frame; the memo resolves
+    ``vm.gpa_to_hpa`` before ``ept.walk_steps`` in first-touch order,
+    which reproduces the scalar loop's lazy EPT backfill / shadow-table
+    extension sequence exactly (allocation order determines addresses).
+    """
+    gread = guest_pt.memory.read_word
+    root_gpa = guest_pt.root_frame << PAGE_SHIFT
+    ept = vm.ept
+    gpa_to_hpa = vm.gpa_to_hpa
+    host = {}
+
+    def resolve(gfn: int):
+        entry = host.get(gfn)
+        if entry is None:
+            hpa = gpa_to_hpa(gfn << PAGE_SHIFT)   # lazy backing first-touch
+            steps = ept.walk_steps(gfn << PAGE_SHIFT)
+            entry = (hpa >> PAGE_SHIFT,
+                     tuple(step.pte_addr for step in steps),
+                     tuple(step.level for step in steps))
+            host[gfn] = entry
+        return entry
+
+    nodes = {}
+    plans = {}
+    for vpn in uniq_vpns:
+        entries = []
+        data = None
+        table_gpa = root_gpa
+        level = top_level
+        while True:
+            index = (vpn >> (TABLE_INDEX_BITS * (level - 1))) & _IDX_MASK
+            gpte_gpa = table_gpa + index * PTE_SIZE
+            gfn = gpte_gpa >> PAGE_SHIFT
+            hfn, hsteps, hlevels = resolve(gfn)
+            gpte_hpa = (hfn << PAGE_SHIFT) | (gpte_gpa & _OFFSET_MASK)
+            if collect:
+                htags = tuple(f"hg{level}L{sl}" for sl in hlevels)
+                gtag = f"gL{level}"
+            else:
+                htags = gtag = None
+
+            prefix = vpn >> (TABLE_INDEX_BITS * (level - 1))
+            cached = nodes.get((level, prefix))
+            if cached is None:
+                gpte = gread(gpte_gpa)
+                if not gpte & PTE_PRESENT:
+                    cached = (_DEAD, 0)
+                elif level == 1 or gpte & PTE_HUGE:
+                    cached = (_LEAF, (pte_frame(gpte), level))
+                else:
+                    cached = (_NEXT, pte_frame(gpte) << PAGE_SHIFT)
+                nodes[(level, prefix)] = cached
+            kind, payload = cached
+
+            if kind is _NEXT:
+                offset = top_level - level
+                fill = (offset, prefix, payload) \
+                    if 0 <= offset < n_offsets else None
+                entries.append((gfn, hfn, hsteps, gpte_hpa, fill,
+                                gtag, htags))
+                table_gpa = payload
+                level -= 1
+                continue
+            entries.append((gfn, hfn, hsteps, gpte_hpa, None, gtag, htags))
+            if kind is _LEAF:
+                leaf_frame, leaf_level = payload
+                data_gpa = (leaf_frame << PAGE_SHIFT) \
+                    + ((vpn << PAGE_SHIFT) & (_LEAF_BYTES[leaf_level] - 1))
+                dgfn = data_gpa >> PAGE_SHIFT
+                dhfn, dsteps, dlevels = resolve(dgfn)
+                dtags = tuple(f"hdL{sl}" for sl in dlevels) \
+                    if collect else None
+                data = (dgfn, dhfn, dsteps, dtags)
+            break
+        plans[vpn] = (tuple(entries), data)
+    return plans
+
+
+def _build_dmt_plans(spec: BatchSpec, uniq_vpns: List[int], collect: bool):
+    """Per-VPN DMT attempt plans, captured from the real fetcher.
+
+    Pass 1 of the DMT planner: run the fetcher's attempt for each unique
+    VPN with a *recording* fetch callback (reads only — the register
+    file, gTEA tables, and page tables are static during a replay), then
+    compress the captured references into parallel groups. The fetcher's
+    ``hits``/``fallbacks`` counters are snapshot per attempt into the
+    plan as deltas and restored afterwards; the runtime applies the
+    deltas once per replayed miss, matching the scalar loop's counts.
+
+    A plan is ``(fallback, groups, d_hits, d_fallbacks)`` where each
+    group is ``(addrs, tags)``. Returns the plans plus the VPNs whose
+    attempt fell back, in first-occurrence order — the order the scalar
+    loop would first hand them to the radix fallback walker (pass 2
+    plans those lazily so lazy page-table side effects stay in scalar
+    order and non-fallback VPNs trigger none at all).
+    """
+    fetcher = spec.fetcher
+    attempt = spec.attempt
+    hits0, fallbacks0 = fetcher.hits, fetcher.fallbacks
+    events = []
+
+    def record(addr: int, tag: str, group: int) -> None:
+        events.append((addr, tag, group))
+
+    plans = {}
+    fallback_vpns = []
+    for vpn in uniq_vpns:
+        del events[:]
+        hits_before, fb_before = fetcher.hits, fetcher.fallbacks
+        result = attempt(vpn << PAGE_SHIFT, record)
+        d_hits = fetcher.hits - hits_before
+        d_fallbacks = fetcher.fallbacks - fb_before
+        groups = []
+        open_id = None
+        for addr, tag, group in events:
+            if group != open_id:
+                groups.append(([], [] if collect else None))
+                open_id = group
+            groups[-1][0].append(addr)
+            if collect:
+                groups[-1][1].append(tag)
+        fell_back = bool(result.fallback)
+        plans[vpn] = (
+            fell_back,
+            tuple((tuple(addrs), tuple(tags) if tags is not None else None)
+                  for addrs, tags in groups),
+            d_hits,
+            d_fallbacks,
+        )
+        if fell_back:
+            fallback_vpns.append(vpn)
+    fetcher.hits, fetcher.fallbacks = hits0, fallbacks0
+    return plans, fallback_vpns
+
+
+# --------------------------------------------------------------------- #
+# Runners
+# --------------------------------------------------------------------- #
+
+def _make_radix_runner(spec: BatchSpec, memsys: MemorySubsystem,
+                       uniq_vpns: List[int], access: Callable[[int], int],
+                       access_ctx, collect: bool,
+                       finalizers: List[Callable[[], None]],
+                       credit_walkers: Tuple = ()):
+    """Build plans + the per-miss radix walk function for ``spec``.
+
+    Returns ``(run, run_many)``. ``run(vpn, steps)`` executes one walk:
+    PWC probe (with LRU touch and credit thinning), the remaining chain
+    fetches, and the PWC fills — all against live flat state — and
+    returns ``(cycles, nrefs, False)``. ``steps`` collects Figure 16
+    ``(tag, latency)`` pairs when not None. For radix-native,
+    ``run_many(vpn_list) -> (cycles, nrefs)`` additionally replays a
+    whole chunk with the probe and the cache hierarchy fully inlined
+    over ``access_ctx`` (the shared counters behind ``access``), every
+    line/set index precomputed, and all counters held in locals that
+    flush once per chunk; ``run_many`` is None otherwise. The nested
+    path goes through ``access``.
+
+    ``credit_walkers`` names walkers whose walks/cycles counters must
+    mirror these walks (the DMT fallback path: the scalar loop records
+    each fallback walk on the fallback walker before the DMT walker).
+    """
+    pwc = memsys.guest_pwc if spec.kind == "radix-nested" else memsys.pwc
+    view = pwc.batch_view()
+    probe, probe_fin, probe_ctx = _make_pwc_probe(view)
+    finalizers.append(probe_fin)
+    tables = view.tables
+    capacities = view.capacities
+    pwc_latency = memsys.pwc_latency
+    run_many = None
+
+    if spec.kind == "radix-native":
+        (v1, v2, v3), mem_latency, counters = access_ctx
+        top_level = view.top_level
+        slots, columns = _build_radix_native_columns(
+            spec.page_table, top_level, len(tables), uniq_vpns,
+            (v1, v2, v3))
+        line1, idx1, line2, idx2, line3, idx3, fkeys, fvals = columns
+        tag_by_step = tuple(
+            f"L{top_level - depth}" for depth in range(top_level))
+        s1, a1, lat1 = v1.sets, v1.assoc, v1.latency
+        s2, a2, lat2 = v2.sets, v2.assoc, v2.latency
+        s3, a3, lat3 = v3.sets, v3.assoc, v3.latency
+        porder, paccept, pcredit, pcounters = probe_ctx
+
+        def run(vpn: int, steps) -> Tuple[int, int, bool]:
+            base, chain_len = slots[vpn]
+            cycles = pwc_latency
+            start = probe(vpn)
+            j = base + start
+            end = base + chain_len
+            while j < end:
+                # Inlined CacheHierarchy.access: L1 -> L2 -> LLC -> MEM,
+                # LRU touch on hit, install into every missed level.
+                l1 = line1[j]
+                i1 = idx1[j]
+                w1 = s1.get(i1)
+                if w1 is not None and l1 in w1:
+                    del w1[l1]
+                    w1[l1] = None
+                    counters[0] += 1
+                    latency = lat1
+                else:
+                    counters[3] += 1
+                    l2 = line2[j]
+                    i2 = idx2[j]
+                    w2 = s2.get(i2)
+                    if w2 is not None and l2 in w2:
+                        del w2[l2]
+                        w2[l2] = None
+                        counters[1] += 1
+                        latency = lat2
+                    else:
+                        counters[4] += 1
+                        l3 = line3[j]
+                        i3 = idx3[j]
+                        w3 = s3.get(i3)
+                        if w3 is not None and l3 in w3:
+                            del w3[l3]
+                            w3[l3] = None
+                            counters[2] += 1
+                            latency = lat3
+                        else:
+                            counters[5] += 1
+                            counters[6] += 1
+                            latency = mem_latency
+                            if w3 is None:
+                                s3[i3] = {l3: None}
+                            else:
+                                if len(w3) >= a3:
+                                    del w3[next(iter(w3))]
+                                w3[l3] = None
+                        if w2 is None:
+                            s2[i2] = {l2: None}
+                        else:
+                            if len(w2) >= a2:
+                                del w2[next(iter(w2))]
+                            w2[l2] = None
+                    if w1 is None:
+                        s1[i1] = {l1: None}
+                    else:
+                        if len(w1) >= a1:
+                            del w1[next(iter(w1))]
+                        w1[l1] = None
+                cycles += latency
+                if steps is not None:
+                    steps.append((tag_by_step[j - base], latency))
+                key = fkeys[j]
+                if key >= 0:
+                    offset = j - base
+                    table = tables[offset]
+                    if key in table:
+                        del table[key]
+                    elif len(table) >= capacities[offset]:
+                        del table[next(iter(table))]
+                    table[key] = fvals[j]
+                j += 1
+            return cycles, chain_len - start, False
+
+        if v1.num_sets == 1 and paccept is not None and len(porder) == 3:
+            # The Table 3 shape: the PTE-share-thinned L1 collapses to a
+            # single set at evaluation scale (its one ways dict is
+            # hoisted out of the loop — no set-index column load, no
+            # s1.get per access) and the 3-offset thinned PWC probe is
+            # unrolled deepest-first with its tables/shifts in locals.
+            (pt2, psh2, _o2), (pt1, psh1, _o1), (pt0, psh0, _o0) = porder
+            pac0, pac1, pac2 = paccept[0], paccept[1], paccept[2]
+
+            def run_many(vpn_list) -> Tuple[int, int]:
+                h1 = h2 = h3 = miss1 = miss2 = miss3 = mem = 0
+                phits = pmisses = 0
+                total_cycles = 0
+                refs = 0
+                w1 = s1.get(0)
+                for vpn in vpn_list:
+                    base, chain_len = slots[vpn]
+                    start = 0
+                    key = vpn >> psh2
+                    if key in pt2:
+                        pt2[key] = pt2.pop(key)   # LRU touch
+                        credit = pcredit[2] + pac2
+                        if credit >= 1.0:
+                            pcredit[2] = credit - 1.0
+                            start = 3
+                        else:
+                            pcredit[2] = credit
+                    if start == 0:
+                        key = vpn >> psh1
+                        if key in pt1:
+                            pt1[key] = pt1.pop(key)
+                            credit = pcredit[1] + pac1
+                            if credit >= 1.0:
+                                pcredit[1] = credit - 1.0
+                                start = 2
+                            else:
+                                pcredit[1] = credit
+                        if start == 0:
+                            key = vpn >> psh0
+                            if key in pt0:
+                                pt0[key] = pt0.pop(key)
+                                credit = pcredit[0] + pac0
+                                if credit >= 1.0:
+                                    pcredit[0] = credit - 1.0
+                                    start = 1
+                                else:
+                                    pcredit[0] = credit
+                    if start:
+                        phits += 1
+                    else:
+                        pmisses += 1
+                    cycles = pwc_latency
+                    j = base + start
+                    end = base + chain_len
+                    while j < end:
+                        l1 = line1[j]
+                        if w1 is not None and l1 in w1:
+                            del w1[l1]
+                            w1[l1] = None
+                            h1 += 1
+                            cycles += lat1
+                        else:
+                            miss1 += 1
+                            l2 = line2[j]
+                            i2 = idx2[j]
+                            w2 = s2.get(i2)
+                            if w2 is not None and l2 in w2:
+                                del w2[l2]
+                                w2[l2] = None
+                                h2 += 1
+                                cycles += lat2
+                            else:
+                                miss2 += 1
+                                l3 = line3[j]
+                                i3 = idx3[j]
+                                w3 = s3.get(i3)
+                                if w3 is not None and l3 in w3:
+                                    del w3[l3]
+                                    w3[l3] = None
+                                    h3 += 1
+                                    cycles += lat3
+                                else:
+                                    miss3 += 1
+                                    mem += 1
+                                    cycles += mem_latency
+                                    if w3 is None:
+                                        s3[i3] = {l3: None}
+                                    else:
+                                        if len(w3) >= a3:
+                                            del w3[next(iter(w3))]
+                                        w3[l3] = None
+                                if w2 is None:
+                                    s2[i2] = {l2: None}
+                                else:
+                                    if len(w2) >= a2:
+                                        del w2[next(iter(w2))]
+                                    w2[l2] = None
+                            if w1 is None:
+                                w1 = s1[0] = {l1: None}
+                            else:
+                                if len(w1) >= a1:
+                                    del w1[next(iter(w1))]
+                                w1[l1] = None
+                        key = fkeys[j]
+                        if key >= 0:
+                            offset = j - base
+                            table = tables[offset]
+                            if key in table:
+                                del table[key]
+                            elif len(table) >= capacities[offset]:
+                                del table[next(iter(table))]
+                            table[key] = fvals[j]
+                        j += 1
+                    total_cycles += cycles
+                    refs += chain_len - start
+                counters[0] += h1
+                counters[1] += h2
+                counters[2] += h3
+                counters[3] += miss1
+                counters[4] += miss2
+                counters[5] += miss3
+                counters[6] += mem
+                pcounters[0] += phits
+                pcounters[1] += pmisses
+                return total_cycles, refs
+        else:
+            def run_many(vpn_list) -> Tuple[int, int]:
+                # One chunk, probe + hierarchy + fills inlined, every
+                # counter in a local int flushed once at the end.
+                h1 = h2 = h3 = miss1 = miss2 = miss3 = mem = 0
+                phits = pmisses = 0
+                total_cycles = 0
+                refs = 0
+                for vpn in vpn_list:
+                    base, chain_len = slots[vpn]
+                    start = 0
+                    hit = False
+                    for table, shift, offset in porder:
+                        key = vpn >> shift
+                        if key in table:
+                            table[key] = table.pop(key)   # LRU touch
+                            if paccept is None:
+                                hit = True
+                            else:
+                                credit = pcredit[offset] + paccept[offset]
+                                if credit >= 1.0:
+                                    pcredit[offset] = credit - 1.0
+                                    hit = True
+                                else:
+                                    pcredit[offset] = credit
+                                    continue
+                            start = offset + 1
+                            break
+                    if hit:
+                        phits += 1
+                    else:
+                        pmisses += 1
+                    cycles = pwc_latency
+                    j = base + start
+                    end = base + chain_len
+                    while j < end:
+                        l1 = line1[j]
+                        w1 = s1.get(idx1[j])
+                        if w1 is not None and l1 in w1:
+                            del w1[l1]
+                            w1[l1] = None
+                            h1 += 1
+                            cycles += lat1
+                        else:
+                            miss1 += 1
+                            l2 = line2[j]
+                            i2 = idx2[j]
+                            w2 = s2.get(i2)
+                            if w2 is not None and l2 in w2:
+                                del w2[l2]
+                                w2[l2] = None
+                                h2 += 1
+                                cycles += lat2
+                            else:
+                                miss2 += 1
+                                l3 = line3[j]
+                                i3 = idx3[j]
+                                w3 = s3.get(i3)
+                                if w3 is not None and l3 in w3:
+                                    del w3[l3]
+                                    w3[l3] = None
+                                    h3 += 1
+                                    cycles += lat3
+                                else:
+                                    miss3 += 1
+                                    mem += 1
+                                    cycles += mem_latency
+                                    if w3 is None:
+                                        s3[i3] = {l3: None}
+                                    else:
+                                        if len(w3) >= a3:
+                                            del w3[next(iter(w3))]
+                                        w3[l3] = None
+                                if w2 is None:
+                                    s2[i2] = {l2: None}
+                                else:
+                                    if len(w2) >= a2:
+                                        del w2[next(iter(w2))]
+                                    w2[l2] = None
+                            i1 = idx1[j]
+                            if w1 is None:
+                                s1[i1] = {l1: None}
+                            else:
+                                if len(w1) >= a1:
+                                    del w1[next(iter(w1))]
+                                w1[l1] = None
+                        key = fkeys[j]
+                        if key >= 0:
+                            offset = j - base
+                            table = tables[offset]
+                            if key in table:
+                                del table[key]
+                            elif len(table) >= capacities[offset]:
+                                del table[next(iter(table))]
+                            table[key] = fvals[j]
+                        j += 1
+                    total_cycles += cycles
+                    refs += chain_len - start
+                counters[0] += h1
+                counters[1] += h2
+                counters[2] += h3
+                counters[3] += miss1
+                counters[4] += miss2
+                counters[5] += miss3
+                counters[6] += mem
+                pcounters[0] += phits
+                pcounters[1] += pmisses
+                return total_cycles, refs
+
+    else:  # radix-nested
+        plans = _build_radix_nested_plans(
+            spec.guest_pt, spec.vm, view.top_level, len(tables),
+            uniq_vpns, collect)
+        nview = memsys.nested_pwc.batch_view()
+        ntable = nview.table
+        ncapacity = nview.capacity
+        naccept = nview.accept
+        # hits, misses; thinning credit (float) written back at finalize
+        ncounters = [0, 0]
+        ncredit = [nview.owner.credit]
+
+        def resolve_host(gfn, hfn, hsteps, htags, steps, cycles, nrefs):
+            """Nested-PWC consult + host-chain replay; returns updates."""
+            hit = False
+            if gfn in ntable:
+                cached = ntable.pop(gfn)   # LRU touch, even when thinned
+                ntable[gfn] = cached
+                if naccept < 1.0:
+                    credit = ncredit[0] + naccept
+                    if credit >= 1.0:
+                        ncredit[0] = credit - 1.0
+                        hit = True
+                    else:
+                        ncredit[0] = credit
+                else:
+                    hit = True
+            if hit:
+                ncounters[0] += 1
+                return cycles, nrefs
+            ncounters[1] += 1
+            if steps is None:
+                for addr in hsteps:
+                    cycles += access(addr)
+                    nrefs += 1
+            else:
+                for addr, tag in zip(hsteps, htags):
+                    latency = access(addr)
+                    cycles += latency
+                    nrefs += 1
+                    steps.append((tag, latency))
+            # NestedPWC.fill after the chain (scalar _host_resolve order)
+            if gfn in ntable:
+                del ntable[gfn]
+            elif len(ntable) >= ncapacity:
+                del ntable[next(iter(ntable))]
+            ntable[gfn] = hfn
+            return cycles, nrefs
+
+        def run(vpn: int, steps) -> Tuple[int, int, bool]:
+            entries, data = plans[vpn]
+            cycles = pwc_latency
+            nrefs = 0
+            i = probe(vpn)
+            n = len(entries)
+            while i < n:
+                gfn, hfn, hsteps, gpte_hpa, fill, gtag, htags = entries[i]
+                cycles, nrefs = resolve_host(
+                    gfn, hfn, hsteps, htags, steps, cycles, nrefs)
+                latency = access(gpte_hpa)
+                cycles += latency
+                nrefs += 1
+                if steps is not None:
+                    steps.append((gtag, latency))
+                if fill is not None:
+                    offset, key, value = fill
+                    table = tables[offset]
+                    if key in table:
+                        del table[key]
+                    elif len(table) >= capacities[offset]:
+                        del table[next(iter(table))]
+                    table[key] = value
+                i += 1
+            if data is not None:
+                dgfn, dhfn, dsteps, dtags = data
+                cycles, nrefs = resolve_host(
+                    dgfn, dhfn, dsteps, dtags, steps, cycles, nrefs)
+            return cycles, nrefs, False
+
+        def nested_fin() -> None:
+            nview.stats.hits += ncounters[0]
+            nview.stats.misses += ncounters[1]
+            nview.owner.credit = ncredit[0]
+
+        finalizers.append(nested_fin)
+
+    if not credit_walkers:
+        return run, run_many
+    # DMT fallback duty: mirror each fallback walk onto the fallback
+    # walker's own counters (the scalar loop records through it first).
+    acc = [0, 0]
+
+    def tracked(vpn: int, steps) -> Tuple[int, int, bool]:
+        cycles, nrefs, _ = run(vpn, steps)
+        acc[0] += 1
+        acc[1] += cycles
+        return cycles, nrefs, False
+
+    def credit_fin() -> None:
+        for target in credit_walkers:
+            target.walks += acc[0]
+            target.total_cycles += acc[1]
+
+    finalizers.append(credit_fin)
+    return tracked, None
+
+
+def _make_dmt_runner(spec: BatchSpec, memsys: MemorySubsystem,
+                     uniq_vpns: List[int], access: Callable[[int], int],
+                     access_ctx, collect: bool,
+                     finalizers: List[Callable[[], None]]):
+    """Build the per-miss DMT run function (register hit or fallback).
+
+    Pass 1 captures every attempt's fetch groups and counter deltas from
+    the live fetcher; pass 2 plans radix fallbacks for only the VPNs
+    that fell back. At runtime a register hit charges each group's
+    slowest member sequentially (``WalkRecorder.fetch_grouped``
+    semantics); a register miss applies the attempt's cache traffic with
+    its latency discarded — exactly the scalar ``_run``, which drops the
+    recorder on fallback but keeps the cache/PWC mutations — then runs
+    the radix fallback walk, whose cycles and refs are the walk's result.
+    """
+    plans, fallback_vpns = _build_dmt_plans(spec, uniq_vpns, collect)
+    fallback_spec = spec.fallback.batch_spec()
+    fallback_run, _ = _make_radix_runner(
+        fallback_spec, memsys, fallback_vpns, access, access_ctx, collect,
+        finalizers,
+        credit_walkers=(spec.fallback,) + tuple(fallback_spec.extra_walkers))
+    fetcher = spec.fetcher
+    acc = [0, 0]  # fetcher hits / fallbacks deltas, applied at finalize
+
+    def run(vpn: int, steps) -> Tuple[int, int, bool]:
+        fell_back, groups, d_hits, d_fallbacks = plans[vpn]
+        acc[0] += d_hits
+        acc[1] += d_fallbacks
+        if fell_back:
+            for addrs, _tags in groups:
+                for addr in addrs:
+                    access(addr)   # mutates caches; cycles discarded
+            cycles, nrefs, _ = fallback_run(vpn, steps)
+            return cycles, nrefs, True
+        cycles = 0
+        nrefs = 0
+        for addrs, tags in groups:
+            group_max = 0
+            first = -1
+            for addr in addrs:
+                latency = access(addr)
+                if latency > group_max:
+                    group_max = latency
+                if first < 0:
+                    first = latency
+            cycles += group_max
+            nrefs += len(addrs)
+            if steps is not None:
+                steps.append((tags[0], first))
+        return cycles, nrefs, False
+
+    def fetcher_fin() -> None:
+        fetcher.hits += acc[0]
+        fetcher.fallbacks += acc[1]
+
+    finalizers.append(fetcher_fin)
+    return run
+
+
+# --------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------- #
+
+def replay_walks_vec(
+    walker: Walker,
+    miss_vas,
+    warmup_fraction: float = 0.1,
+    collect_steps: bool = False,
+    chunk: int = DEFAULT_CHUNK,
+):
+    """Batched stage 2: replay a miss stream, bit-identical to scalar.
+
+    Drop-in for :func:`repro.sim.simulator.replay_walks` on supported
+    walkers (see :func:`supports`): same ``WalkStats`` (cycles, refs,
+    fallbacks, step breakdown), same post-replay cache/PWC/walker state.
+    Raises ``ValueError`` for unsupported walkers — callers route those
+    through the scalar loop (``engine="auto"`` does this automatically).
+    """
+    from repro.sim.simulator import WalkStats
+
+    if not supports(walker):
+        raise ValueError(
+            f"walker {walker.name!r} has no batched replay path "
+            "(use the scalar engine)")
+    spec = walker.batch_spec()
+    memsys = walker.memsys
+    record_refs = memsys.record_refs
+    collect = bool(collect_steps and record_refs)
+
+    vas = np.asarray(miss_vas, dtype=np.int64)
+    stats = WalkStats(design=walker.name, engine="vec")
+    total = int(vas.size)
+    if total == 0:
+        return stats
+    vpns = vas >> PAGE_SHIFT
+
+    # Unique VPNs in first-occurrence order: planning must touch lazily
+    # populated structures in the same order the scalar loop would.
+    uniq, first_index = np.unique(vpns, return_index=True)
+    uniq_ordered = uniq[np.argsort(first_index, kind="stable")].tolist()
+
+    # Planning + replay allocate at a small bounded rate; pausing the
+    # cyclic collector for the duration costs nothing semantically.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        access, access_fin, access_ctx = _make_access(memsys.caches)
+        finalizers: List[Callable[[], None]] = [access_fin]
+        run_many = None
+        if spec.kind == "dmt":
+            run = _make_dmt_runner(spec, memsys, uniq_ordered, access,
+                                   access_ctx, collect, finalizers)
+        else:
+            run, run_many = _make_radix_runner(
+                spec, memsys, uniq_ordered, access, access_ctx, collect,
+                finalizers)
+        if collect:
+            run_many = None
+
+        warmup = int(total * warmup_fraction)
+        warm_cycles = 0
+        warm_fallbacks = 0
+        walks = measured_cycles = refs = fallbacks = 0
+        if run_many is not None:
+            for start in range(0, warmup, chunk):
+                cycles, _nrefs = run_many(
+                    vpns[start:min(start + chunk, warmup)].tolist())
+                warm_cycles += cycles
+            for start in range(max(warmup, 0), total, chunk):
+                chunk_vpns = vpns[start:min(start + chunk, total)].tolist()
+                cycles, nrefs = run_many(chunk_vpns)
+                walks += len(chunk_vpns)
+                measured_cycles += cycles
+                refs += nrefs
+        else:
+            for start in range(0, warmup, chunk):
+                for vpn in vpns[start:min(start + chunk, warmup)].tolist():
+                    cycles, _nrefs, fell_back = run(vpn, None)
+                    warm_cycles += cycles
+                    if fell_back:
+                        warm_fallbacks += 1
+
+            step_cycles = stats.step_cycles
+            for start in range(max(warmup, 0), total, chunk):
+                chunk_vpns = vpns[start:min(start + chunk, total)].tolist()
+                if not collect:
+                    for vpn in chunk_vpns:
+                        cycles, nrefs, fell_back = run(vpn, None)
+                        walks += 1
+                        measured_cycles += cycles
+                        refs += nrefs
+                        if fell_back:
+                            fallbacks += 1
+                else:
+                    for vpn in chunk_vpns:
+                        steps = []
+                        cycles, nrefs, fell_back = run(vpn, steps)
+                        walks += 1
+                        measured_cycles += cycles
+                        refs += nrefs
+                        if fell_back:
+                            fallbacks += 1
+                        position = 0
+                        for tag, latency in steps:
+                            position += 1
+                            bucket = step_cycles.setdefault(
+                                "%02d:%s" % (position, tag), [0.0, 0])
+                            bucket[0] += latency
+                            bucket[1] += 1
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    stats.walks = walks
+    stats.total_cycles = measured_cycles
+    stats.ref_count = refs if record_refs else 0
+    stats.fallbacks = fallbacks
+
+    for finalize in finalizers:
+        finalize()
+    all_cycles = warm_cycles + measured_cycles
+    all_fallbacks = warm_fallbacks + fallbacks
+    for target in (walker,) + tuple(spec.extra_walkers):
+        target.walks += total
+        target.total_cycles += all_cycles
+        target.fallbacks += all_fallbacks
+    return stats

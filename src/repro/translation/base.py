@@ -10,8 +10,8 @@ add latency; parallel probes within one group cost the slowest member
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.arch import PageSize
 from repro.hw.cache import CacheHierarchy
@@ -164,6 +164,36 @@ class WalkRecorder:
             self._group_max = 0
 
 
+@dataclass
+class BatchSpec:
+    """A walker's geometry, exposed for the batched replay engine.
+
+    :mod:`repro.sim.walk_vec` replays whole miss streams without calling
+    ``translate`` per address; to do that it needs the structures a
+    walker consults (page tables, the VM for host-dimension resolution,
+    or the DMT fetch attempt plus its radix fallback). A walker without
+    a batched path returns ``None`` from :meth:`Walker.batch_spec` and
+    the engine transparently falls back to the scalar loop.
+
+    ``kind`` selects the planner: ``"radix-native"`` (one-dimensional
+    walk over ``page_table``), ``"radix-nested"`` (two-dimensional walk
+    over ``guest_pt`` with host resolution through ``vm``), or ``"dmt"``
+    (register attempt via ``attempt``/``fetcher`` with ``fallback``
+    handling register misses).
+    """
+
+    kind: str
+    page_table: object = None       # radix-native: the table walked
+    guest_pt: object = None         # radix-nested: guest page table
+    vm: object = None               # radix-nested: VM/adapter (gpa_to_hpa, ept)
+    attempt: Optional[Callable] = None   # dmt: (va, fetch_cb) -> FetchResult
+    fetcher: object = None          # dmt: the DMTFetcher (counter fidelity)
+    fallback: object = None         # dmt: Walker covering register misses
+    #: Extra walkers whose walks/cycles counters mirror this walker's
+    #: (ShadowWalker records through its inner native walker too).
+    extra_walkers: Tuple = field(default_factory=tuple)
+
+
 class Walker(abc.ABC):
     """A translation design: VA in, WalkResult out."""
 
@@ -179,6 +209,10 @@ class Walker(abc.ABC):
     @abc.abstractmethod
     def translate(self, va: int) -> WalkResult:
         """Translate one address, charging latency through ``memsys``."""
+
+    def batch_spec(self) -> Optional[BatchSpec]:
+        """Geometry for the batched replay engine; None = scalar only."""
+        return None
 
     def record(self, result: WalkResult) -> WalkResult:
         self.walks += 1

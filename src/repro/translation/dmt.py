@@ -15,7 +15,13 @@ from repro.core.fetcher import DMTFetcher, FetchResult
 from repro.core.paravirt import GTEATable
 from repro.core.registers import DMTRegisterFile
 from repro.mem.physmem import PhysicalMemory
-from repro.translation.base import MemorySubsystem, Walker, WalkRecorder, WalkResult
+from repro.translation.base import (
+    BatchSpec,
+    MemorySubsystem,
+    Walker,
+    WalkRecorder,
+    WalkResult,
+)
 from repro.virt.hypervisor import VM
 
 
@@ -78,18 +84,27 @@ class _DMTWalkerBase(Walker):
 
         return fetch
 
+    def _attempt(self, va: int, fetch: Callable[[int, str, int], None]):
+        """The register-file attempt with an externally supplied fetch
+        callback — the batched engine's planning hook."""
+        raise NotImplementedError
+
+    def batch_spec(self) -> BatchSpec:
+        return BatchSpec(kind="dmt", attempt=self._attempt,
+                         fetcher=self.fetcher, fallback=self.fallback_walker)
+
 
 class DMTNativeWalker(_DMTWalkerBase):
     """Native DMT: one memory reference (§3, Figure 7)."""
 
     name = "dmt-native"
 
+    def _attempt(self, va: int, fetch: Callable[[int, str, int], None]) -> FetchResult:
+        return self.fetcher.translate_native(va, self.read_pte, fetch)
+
     def translate(self, va: int) -> WalkResult:
         return self._run(
-            va,
-            lambda rec: self.fetcher.translate_native(
-                va, self.read_pte, self._fetch_cb(rec)
-            ),
+            va, lambda rec: self._attempt(va, self._fetch_cb(rec))
         )
 
 
@@ -98,12 +113,12 @@ class DMTVirtWalker(_DMTWalkerBase):
 
     name = "dmt-virt"
 
+    def _attempt(self, gva: int, fetch: Callable[[int, str, int], None]) -> FetchResult:
+        return self.fetcher.translate_virt(gva, self.read_pte, fetch)
+
     def translate(self, gva: int) -> WalkResult:
         return self._run(
-            gva,
-            lambda rec: self.fetcher.translate_virt(
-                gva, self.read_pte, self._fetch_cb(rec)
-            ),
+            gva, lambda rec: self._attempt(gva, self._fetch_cb(rec))
         )
 
 
@@ -123,12 +138,14 @@ class PvDMTVirtWalker(_DMTWalkerBase):
         super().__init__(register_file, fallback_walker, memsys, read_pte)
         self.gtea_table = gtea_table
 
+    def _attempt(self, gva: int, fetch: Callable[[int, str, int], None]) -> FetchResult:
+        return self.fetcher.translate_virt_pv(
+            gva, self.gtea_table, self.read_pte, fetch
+        )
+
     def translate(self, gva: int) -> WalkResult:
         return self._run(
-            gva,
-            lambda rec: self.fetcher.translate_virt_pv(
-                gva, self.gtea_table, self.read_pte, self._fetch_cb(rec)
-            ),
+            gva, lambda rec: self._attempt(gva, self._fetch_cb(rec))
         )
 
 
@@ -150,14 +167,12 @@ class PvDMTNestedWalker(_DMTWalkerBase):
         self.l2_gtea_table = l2_gtea_table
         self.l1_gtea_table = l1_gtea_table
 
+    def _attempt(self, l2va: int, fetch: Callable[[int, str, int], None]) -> FetchResult:
+        return self.fetcher.translate_nested_pv(
+            l2va, self.l2_gtea_table, self.l1_gtea_table, self.read_pte, fetch
+        )
+
     def translate(self, l2va: int) -> WalkResult:
         return self._run(
-            l2va,
-            lambda rec: self.fetcher.translate_nested_pv(
-                l2va,
-                self.l2_gtea_table,
-                self.l1_gtea_table,
-                self.read_pte,
-                self._fetch_cb(rec),
-            ),
+            l2va, lambda rec: self._attempt(l2va, self._fetch_cb(rec))
         )

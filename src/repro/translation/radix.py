@@ -13,7 +13,13 @@ from typing import Optional
 from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize, level_index
 from repro.kernel.page_table import PTE_HUGE, PTE_PRESENT, RadixPageTable, pte_frame
 from repro.mem.physmem import frame_to_addr
-from repro.translation.base import MemorySubsystem, Walker, WalkRecorder, WalkResult
+from repro.translation.base import (
+    BatchSpec,
+    MemorySubsystem,
+    Walker,
+    WalkRecorder,
+    WalkResult,
+)
 from repro.virt.hypervisor import VM
 
 _LEAF_SIZE = {1: PageSize.SIZE_4K, 2: PageSize.SIZE_2M, 3: PageSize.SIZE_1G}
@@ -54,6 +60,9 @@ class NativeRadixWalker(Walker):
             self.memsys.pwc.fill(va, level - 1, frame_to_addr(table_frame))
             level -= 1
         return self.record(WalkResult(va, rec.finish(), rec.refs, pa, size))
+
+    def batch_spec(self) -> BatchSpec:
+        return BatchSpec(kind="radix-native", page_table=self.page_table)
 
 
 class NestedRadixWalker(Walker):
@@ -118,6 +127,10 @@ class NestedRadixWalker(Walker):
             level -= 1
         return self.record(WalkResult(gva, rec.finish(), rec.refs, pa, size))
 
+    def batch_spec(self) -> BatchSpec:
+        return BatchSpec(kind="radix-nested", guest_pt=self.guest_pt,
+                         vm=self.vm)
+
 
 class ShadowWalker(Walker):
     """Shadow paging: a native-style walk over the hypervisor's sPT.
@@ -135,3 +148,9 @@ class ShadowWalker(Walker):
 
     def translate(self, va: int) -> WalkResult:
         return self.record(self._inner.translate(va))
+
+    def batch_spec(self) -> BatchSpec:
+        # A native walk over the sPT; the inner walker's counters mirror
+        # this walker's (the scalar path records through both).
+        return BatchSpec(kind="radix-native", page_table=self._inner.page_table,
+                         extra_walkers=(self._inner,))

@@ -1,0 +1,204 @@
+"""Oracle parity for the batched stage-2 replay engine.
+
+``walk_vec.replay_walks_vec`` must be bit-identical to the scalar
+``replay_walks`` oracle: same :class:`WalkStats` (including the step
+breakdown), same walker/fetcher counters, and the same memory-subsystem
+state (cache sets + LRU order, PWC tables + thinning credits) after the
+replay. Designs the engine does not vectorize must transparently fall
+back to the scalar path under ``engine="auto"``.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.registers import RegisterSet
+from repro.hw.config import xeon_gold_6138
+from repro.sim.machine import ENVIRONMENTS, SimConfig
+from repro.sim.simulator import Stage1Cache, replay_walks
+from repro.sim.sweep import run_group
+from repro.sim.walk_vec import replay_walks_vec, supports
+
+#: Every (environment, design) pair the batched engine vectorizes.
+SUPPORTED = [
+    ("native", "vanilla"), ("native", "dmt"),
+    ("virt", "vanilla"), ("virt", "shadow"),
+    ("virt", "dmt"), ("virt", "pvdmt"),
+    ("nested", "vanilla"), ("nested", "pvdmt"),
+]
+
+#: DMT flavours and the register set their fetcher consults.
+DMT_CASES = [
+    ("native", "dmt", RegisterSet.NATIVE),
+    ("virt", "dmt", RegisterSet.GUEST),
+    ("virt", "pvdmt", RegisterSet.GUEST),
+    ("nested", "pvdmt", RegisterSet.NESTED),
+]
+
+PARITY_CASES = [(env, design, thp, seed)
+                for env, design in SUPPORTED
+                for thp in (False, True)
+                for seed in ((0, 3) if not thp else (0,))]
+
+
+def _config(thp=False, seed=0):
+    return SimConfig(scale=4096, nrefs=3000, thp=thp, seed=seed,
+                     record_refs=True)
+
+
+def _build_pair(env, design, config, workload="GUPS"):
+    """Two independent machines + walkers with identical initial state."""
+    env_cls = ENVIRONMENTS[env]
+    sim_s, sim_v = env_cls(workload, config), env_cls(workload, config)
+    assert np.array_equal(sim_s.tlb.miss_vas, sim_v.tlb.miss_vas)
+    return sim_s.walker(design), sim_v.walker(design), sim_s.tlb.miss_vas
+
+
+def _pwc_state(pwc):
+    view = pwc.batch_view()
+    return ([tuple(table.items()) for table in view.tables],
+            list(view.credit), view.stats)
+
+
+def _memsys_state(walker):
+    """Everything replay mutates, in a directly comparable shape.
+
+    Insertion order IS the LRU order of the set dicts and PWC tables,
+    so snapshots keep it (plain dict equality would ignore it).
+    """
+    memsys = walker.memsys
+    state = {
+        "caches": [(cache.stats,
+                    {idx: tuple(ways) for idx, ways in cache._sets.items()})
+                   for cache in memsys.caches.levels],
+        "memory_accesses": memsys.caches.memory_accesses,
+        "pwc": _pwc_state(memsys.pwc),
+        "guest_pwc": _pwc_state(memsys.guest_pwc),
+    }
+    npwc = memsys.nested_pwc
+    view = npwc.batch_view()
+    state["nested_pwc"] = (tuple(view.table.items()), npwc.credit, view.stats)
+    return state
+
+
+def _walker_counters(walker):
+    return (walker.walks, walker.total_cycles, walker.fallbacks)
+
+
+def _assert_parity(walker_scalar, walker_vec, miss_vas):
+    stats_scalar = replay_walks(walker_scalar, miss_vas,
+                                collect_steps=True, engine="scalar")
+    stats_vec = replay_walks_vec(walker_vec, miss_vas, collect_steps=True)
+    assert stats_scalar.engine == "scalar" and stats_vec.engine == "vec"
+    assert stats_scalar == stats_vec
+    assert stats_scalar.step_breakdown() == stats_vec.step_breakdown()
+    assert _walker_counters(walker_scalar) == _walker_counters(walker_vec)
+    assert _memsys_state(walker_scalar) == _memsys_state(walker_vec)
+    for attr in ("fetcher", "fallback_walker"):
+        scalar_part = getattr(walker_scalar, attr, None)
+        vec_part = getattr(walker_vec, attr, None)
+        assert (scalar_part is None) == (vec_part is None)
+        if scalar_part is None:
+            continue
+        if attr == "fetcher":
+            assert (scalar_part.hits, scalar_part.fallbacks) == \
+                (vec_part.hits, vec_part.fallbacks)
+        else:
+            assert _walker_counters(scalar_part) == _walker_counters(vec_part)
+    return stats_scalar
+
+
+@pytest.mark.parametrize("env,design,thp,seed", PARITY_CASES)
+def test_vec_replay_matches_scalar_oracle(env, design, thp, seed):
+    config = _config(thp=thp, seed=seed)
+    walker_scalar, walker_vec, miss_vas = _build_pair(env, design, config)
+    assert supports(walker_scalar) and supports(walker_vec)
+    stats = _assert_parity(walker_scalar, walker_vec, miss_vas)
+    assert stats.walks > 0 and stats.ref_count > 0
+
+
+@pytest.mark.parametrize("env,design,which", DMT_CASES)
+def test_vec_replay_matches_scalar_on_dmt_fallbacks(env, design, which):
+    """Prune the register file so fetcher misses exercise the fallback."""
+    config = _config(seed=3)
+    walker_scalar, walker_vec, miss_vas = _build_pair(
+        env, design, config, workload="Redis")
+    for walker in (walker_scalar, walker_vec):
+        register_file = walker.fetcher.register_file
+        registers = register_file.registers(which)
+        kept = set(sorted(set(r.vma_base for r in registers))[::2])
+        register_file.load(which, [r for r in registers
+                                   if r.vma_base in kept])
+    stats = _assert_parity(walker_scalar, walker_vec, miss_vas)
+    assert stats.fallbacks > 0, "pruning must force register misses"
+
+
+@pytest.mark.parametrize("env,design,pte_share", [
+    ("native", "vanilla", None),    # Table 3 default: single-set L1(pte)
+    ("native", "vanilla", 0.25),    # wide L1(pte): the multi-set variant
+    ("virt", "shadow", None),
+])
+def test_vec_chunk_runner_matches_scalar_without_step_collection(
+        env, design, pte_share):
+    """Without step collection radix-native replays take the fused
+    chunk runner (inlined probe + hierarchy, counters flushed per
+    chunk); a small chunk size exercises the flush boundaries and
+    ``pte_share`` selects between its single-set-L1 and general
+    variants."""
+    config = _config(seed=1)
+    if pte_share is not None:
+        machine = replace(xeon_gold_6138(), pte_cache_share=pte_share)
+        config = replace(config, machine=machine)
+    walker_scalar, walker_vec, miss_vas = _build_pair(env, design, config)
+    if pte_share is not None:
+        l1 = walker_vec.memsys.caches.levels[0]
+        assert l1.batch_view().num_sets > 1
+    stats_scalar = replay_walks(walker_scalar, miss_vas, engine="scalar")
+    stats_vec = replay_walks_vec(walker_vec, miss_vas, chunk=512)
+    assert stats_vec.engine == "vec"
+    assert stats_scalar == stats_vec
+    assert _walker_counters(walker_scalar) == _walker_counters(walker_vec)
+    assert _memsys_state(walker_scalar) == _memsys_state(walker_vec)
+
+
+@pytest.mark.parametrize("design", ["fpt", "ecpt", "asap"])
+def test_auto_engine_falls_back_to_scalar(design):
+    sim = ENVIRONMENTS["native"]("GUPS", _config())
+    walker = sim.walker(design)
+    assert not supports(walker)
+    stats = replay_walks(walker, sim.tlb.miss_vas[:64], engine="auto")
+    assert stats.engine == "scalar"
+    with pytest.raises(ValueError):
+        replay_walks(sim.walker(design), sim.tlb.miss_vas[:64], engine="vec")
+
+
+def test_replay_rejects_unknown_engine():
+    sim = ENVIRONMENTS["native"]("GUPS", _config())
+    with pytest.raises(ValueError):
+        replay_walks(sim.walker("vanilla"), sim.tlb.miss_vas[:8],
+                     engine="turbo")
+
+
+def test_stage1_cache_shares_miss_stream_across_environments():
+    """One trace + TLB filter serves native, virt, and nested machines."""
+    cache = Stage1Cache()
+    config = _config()
+    sims = [ENVIRONMENTS[env]("GUPS", config, stage1=cache)
+            for env in ("native", "virt", "nested")]
+    assert cache.computed == 1 and cache.reused == 2
+    assert sims[0].stage1_reused is False
+    assert all(sim.stage1_reused for sim in sims[1:])
+    for sim in sims[1:]:
+        assert np.array_equal(sims[0].tlb.miss_vas, sim.tlb.miss_vas)
+        assert sim.stage1_seconds == sims[0].stage1_seconds > 0.0
+
+
+def test_run_group_reports_stage1_reuse_telemetry():
+    task = (("native", "virt"), "GUPS", False, ("vanilla",),
+            dict(scale=4096, nrefs=3000))
+    cells = run_group(task)
+    assert [cell["env"] for cell in cells] == ["native", "virt"]
+    assert [cell["stage1_reused"] for cell in cells] == [False, True]
+    assert cells[0]["stage1_seconds"] == cells[1]["stage1_seconds"] > 0.0
+    assert all(cell["walk_engine"] == "vec" for cell in cells)
