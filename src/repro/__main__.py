@@ -9,6 +9,8 @@ Examples::
     python -m repro run --workload GUPS --env virt --walk-engine scalar
     python -m repro sweep --env native --workers 4
     python -m repro sweep --env native,virt --pages both --out sweep.json
+    python -m repro sweep --env native --trace trace.jsonl
+    python -m repro regress --sweep sweep.json
     python -m repro table1
     python -m repro lint
     python -m repro run --workload GUPS --env native --sanitize
@@ -21,6 +23,7 @@ import sys
 
 from repro.analysis.report import format_table
 from repro.analysis.vma_stats import vma_stats
+from repro.obs import trace as obs_trace
 from repro.sim import ENVIRONMENTS, SimConfig
 from repro.sim.perfmodel import model_from_stats
 from repro.workloads import catalogue
@@ -51,45 +54,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
                        register_count=args.register_count,
                        engine=args.engine, walk_engine=args.walk_engine,
                        sanitize=args.sanitize)
-    print(f"building {args.env} machine for {args.workload} "
-          f"(scale 1/{args.scale}, {args.nrefs} refs, "
-          f"{'THP' if args.thp else '4KB'}) ...")
-    sim = env_cls(args.workload, config)
-    print(f"TLB miss rate {sim.tlb.miss_rate:.1%} "
-          f"({sim.tlb.miss_count} walks)\n")
-
-    designs = args.designs.split(",") if args.designs else list(env_cls.designs)
-    unknown = set(designs) - set(env_cls.designs)
-    if unknown:
-        print(f"unknown design(s) for {args.env}: {sorted(unknown)}",
-              file=sys.stderr)
-        return 2
-
+    if args.trace:
+        obs_trace.enable(args.trace)
     try:
-        stats = {design: sim.run(design) for design in designs}
-        vanilla = stats.get("vanilla") or sim.run("vanilla")
-    except ValueError as error:
-        # e.g. --walk-engine vec forced onto a design with no batched
-        # path; restrict --designs or use auto/scalar.
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    rows = []
-    for design, st in stats.items():
-        row = [design, st.mean_latency,
-               vanilla.mean_latency / st.mean_latency if st.mean_latency else 0,
-               f"{st.fallback_rate:.2%}"]
+        print(f"building {args.env} machine for {args.workload} "
+              f"(scale 1/{args.scale}, {args.nrefs} refs, "
+              f"{'THP' if args.thp else '4KB'}) ...")
+        sim = env_cls(args.workload, config)
+        print(f"TLB miss rate {sim.tlb.miss_rate:.1%} "
+              f"({sim.tlb.miss_count} walks)\n")
+
+        designs = (args.designs.split(",") if args.designs
+                   else list(env_cls.designs))
+        unknown = set(designs) - set(env_cls.designs)
+        if unknown:
+            print(f"unknown design(s) for {args.env}: {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+
         try:
-            model = model_from_stats(args.workload,
-                                     _ENV_TO_CALIBRATION[args.env],
-                                     vanilla, st, thp=args.thp)
-            row.append(model.app_speedup)
-        except KeyError:
-            row.append("-")
-        rows.append(row)
-    print(format_table(
-        ["design", "cycles/walk", "walk speedup", "fallback", "app speedup"],
-        rows,
-    ))
+            stats = {design: sim.run(design) for design in designs}
+            vanilla = stats.get("vanilla") or sim.run("vanilla")
+        except ValueError as error:
+            # e.g. --walk-engine vec forced onto a design with no batched
+            # path; restrict --designs or use auto/scalar.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        rows = []
+        for design, st in stats.items():
+            row = [design, st.mean_latency,
+                   (vanilla.mean_latency / st.mean_latency
+                    if st.mean_latency else 0),
+                   f"{st.fallback_rate:.2%}"]
+            try:
+                model = model_from_stats(args.workload,
+                                         _ENV_TO_CALIBRATION[args.env],
+                                         vanilla, st, thp=args.thp)
+                row.append(model.app_speedup)
+            except (KeyError, ValueError):
+                # no calibration profile for the pair, or a degenerate
+                # zero-overhead baseline — the table still prints.
+                row.append("-")
+            rows.append(row)
+        print(format_table(
+            ["design", "cycles/walk", "walk speedup", "fallback",
+             "app speedup"],
+            rows,
+        ))
+        if args.trace:
+            print(f"trace spans appended to {args.trace}")
+    finally:
+        if args.trace:
+            obs_trace.disable()
     return 0
 
 
@@ -107,14 +123,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     designs = [d for d in args.designs.split(",") if d] \
         if args.designs else None
 
-    document = run_sweep(
-        envs=envs, workloads=workloads, designs=designs,
-        thp_modes=thp_modes[args.pages], workers=args.workers,
-        out_path=args.out, progress=print,
-        scale=args.scale, nrefs=args.nrefs, seed=args.seed,
-        levels=args.levels, register_count=args.register_count,
-        walk_engine=args.walk_engine, sanitize=args.sanitize,
-    )
+    try:
+        document = run_sweep(
+            envs=envs, workloads=workloads, designs=designs,
+            thp_modes=thp_modes[args.pages], workers=args.workers,
+            out_path=args.out, progress=print, trace_path=args.trace,
+            scale=args.scale, nrefs=args.nrefs, seed=args.seed,
+            levels=args.levels, register_count=args.register_count,
+            walk_engine=args.walk_engine, sanitize=args.sanitize,
+        )
+    except KeyError as error:
+        # unknown design: no swept environment provides it
+        print(f"error: {error.args[0] if error.args else error}",
+              file=sys.stderr)
+        return 2
     print(format_table(
         ["env", "workload", "pages", "design", "cycles/walk",
          "walk speedup", "walks/s", "peak RSS"],
@@ -125,7 +147,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ))
     if args.out:
         print(f"\nwrote {document['meta']['cells']} cells to {args.out}")
+    if args.trace:
+        print(f"trace spans appended to {args.trace}")
+    errors = document["meta"]["metrics"]["sweep.error_cells"]
+    if errors:
+        print(f"warning: {errors} error cell(s) in the sweep",
+              file=sys.stderr)
     return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from repro.obs import regress
+
+    return regress.run_gate(
+        bench_path=args.bench,
+        baseline_bench_path=args.baseline_bench,
+        sweep_path=args.sweep,
+        baseline_sweep_path=args.baseline_sweep,
+        tolerance=args.tolerance,
+        latency_tolerance=args.latency_tolerance,
+        trajectory_path=None if args.no_trajectory else args.trajectory,
+    )
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -179,6 +221,9 @@ def main(argv=None) -> int:
                          help="enable the runtime translation sanitizer "
                               "(invariant checks on TEAs, PTEs, TLB/PWC "
                               "coherence, pvDMT isolation)")
+    simopts.add_argument("--trace", default=None, metavar="PATH",
+                         help="append trace spans (stage-1 filter, stage-2 "
+                              "replays, sweep groups) to this JSONL file")
 
     run = sub.add_parser("run", parents=[common, simopts],
                          help="simulate one workload/environment")
@@ -207,13 +252,51 @@ def main(argv=None) -> int:
     sweep.add_argument("--out", default="sweep_results.json",
                        help="JSON result store (default: sweep_results.json)")
 
+    regress = sub.add_parser(
+        "regress",
+        help="compare bench/sweep artifacts against archived baselines; "
+             "exit non-zero on regression")
+    from repro.obs.regress import (
+        DEFAULT_BENCH,
+        DEFAULT_BENCH_BASELINE,
+        DEFAULT_LATENCY_TOLERANCE,
+        DEFAULT_SWEEP_BASELINE,
+        DEFAULT_TOLERANCE,
+        DEFAULT_TRAJECTORY,
+    )
+    regress.add_argument("--bench", default=DEFAULT_BENCH,
+                         help=f"current engine bench (default {DEFAULT_BENCH};"
+                              " skipped when absent)")
+    regress.add_argument("--baseline-bench", default=DEFAULT_BENCH_BASELINE,
+                         help="archived engine-bench baseline "
+                              f"(default {DEFAULT_BENCH_BASELINE})")
+    regress.add_argument("--sweep", default=None,
+                         help="current sweep document to compare "
+                              "(default: bench only)")
+    regress.add_argument("--baseline-sweep", default=DEFAULT_SWEEP_BASELINE,
+                         help="archived sweep baseline "
+                              f"(default {DEFAULT_SWEEP_BASELINE})")
+    regress.add_argument("--tolerance", type=float,
+                         default=DEFAULT_TOLERANCE,
+                         help="relative slack on walks/sec throughput "
+                              f"(default {DEFAULT_TOLERANCE})")
+    regress.add_argument("--latency-tolerance", type=float,
+                         default=DEFAULT_LATENCY_TOLERANCE,
+                         help="relative slack on deterministic mean_latency "
+                              f"(default {DEFAULT_LATENCY_TOLERANCE})")
+    regress.add_argument("--trajectory", default=DEFAULT_TRAJECTORY,
+                         help="performance-history store appended to on "
+                              f"clean runs (default {DEFAULT_TRAJECTORY})")
+    regress.add_argument("--no-trajectory", action="store_true",
+                         help="do not append to the trajectory store")
+
     # handled before parsing (free-form paths); listed here for --help only
     sub.add_parser("lint", help="run dmtlint, the simulator-invariant "
                                 "static-analysis pass (rules L1-L4)")
 
     args = parser.parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep,
-               "table1": _cmd_table1}
+               "table1": _cmd_table1, "regress": _cmd_regress}
     return handler[args.command](args)
 
 

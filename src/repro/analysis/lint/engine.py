@@ -13,11 +13,11 @@ Scopes
     Files under ``sim/``, ``core/`` or ``translation/`` — the paths whose
     outputs must be deterministic (rule L2's set-iteration check).
 ``costs``
-    ``core/costs.py`` and ``sim/perfmodel.py`` — calibrated constants
-    need paper citations (rule L3).
+    ``core/costs.py``, ``sim/perfmodel.py`` and ``obs/regress.py`` —
+    calibrated constants need paper/DESIGN.md citations (rule L3).
 ``vec``
-    ``sim/tlb_vec.py`` — public functions need oracle test references
-    (rule L4).
+    ``sim/tlb_vec.py``, ``sim/walk_vec.py`` and the ``obs/`` modules —
+    public functions need oracle test references (rule L4).
 
 A file can opt into scopes explicitly with a pragma in its first lines::
 
@@ -45,10 +45,16 @@ _IGNORE_RE = re.compile(r"#\s*dmtlint:\s*ignore(?:\[([A-Z0-9, ]+)\])?")
 
 #: Directories whose files are on the deterministic result path.
 RESULT_PATH_DIRS = ("sim", "core", "translation")
-#: (parent dir, file name) pairs carrying calibrated cost constants.
-COSTS_FILES = (("core", "costs.py"), ("sim", "perfmodel.py"))
-#: (parent dir, file name) pairs holding vectorized-engine code.
-VEC_FILES = (("sim", "tlb_vec.py"), ("sim", "walk_vec.py"))
+#: (parent dir, file name) pairs carrying calibrated cost constants
+#: (the obs regression gate's tolerances are calibrated too).
+COSTS_FILES = (("core", "costs.py"), ("sim", "perfmodel.py"),
+               ("obs", "regress.py"))
+#: (parent dir, file name) pairs holding vectorized-engine code, plus
+#: the observability modules — their public API must likewise be
+#: exercised by the oracle-test corpus (rule L4).
+VEC_FILES = (("sim", "tlb_vec.py"), ("sim", "walk_vec.py"),
+             ("obs", "metrics.py"), ("obs", "trace.py"),
+             ("obs", "regress.py"))
 
 
 @dataclass(frozen=True)

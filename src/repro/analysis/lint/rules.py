@@ -18,6 +18,10 @@ L2 findings
   ``np.random.randint(...)``): global state defeats per-run seeding.
 * ``L203`` — iteration over a ``set`` in a result-path file; Python sets
   iterate in hash order, which varies across runs/interpreters.
+* ``L204`` — call to builtin ``hash()``: str/bytes hashes are salted by
+  ``PYTHONHASHSEED``, so any value derived from one (an RNG seed, a
+  bucket index) changes every interpreter run. Use ``zlib.crc32`` or
+  ``hashlib`` for a stable digest.
 """
 
 from __future__ import annotations
@@ -200,6 +204,14 @@ class L2Determinism(Rule):
     def _check_rng(self, node: ast.Call, path: str) -> Iterable[Violation]:
         dotted = _dotted(node.func)
         if not dotted:
+            return
+        if dotted == "hash":
+            yield Violation(
+                "L204", path, node.lineno, node.col_offset,
+                "builtin hash() is salted by PYTHONHASHSEED and varies "
+                "across interpreter runs; use zlib.crc32/hashlib for a "
+                "stable digest",
+            )
             return
         head, _, last = dotted.rpartition(".")
         if last == "default_rng" and not _call_has_seed(node):

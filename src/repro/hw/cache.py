@@ -11,12 +11,34 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.hw.config import CacheConfig, MachineConfig
+from repro.obs import metrics
 
 
-@dataclass
 class CacheStats:
-    hits: int = 0
-    misses: int = 0
+    """Hit/miss counters, registered as ``cache.<level>.hits``/``.misses``
+    with the metrics registry (:mod:`repro.obs.metrics`)."""
+
+    __slots__ = ("_hits", "_misses")
+
+    def __init__(self, scope: str = "cache"):
+        self._hits = metrics.counter(f"{scope}.hits")
+        self._misses = metrics.counter(f"{scope}.misses")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
 
     @property
     def accesses(self) -> int:
@@ -25,6 +47,18 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
+
+    # Value semantics, as when this was a dataclass (parity tests
+    # compare the stats of independently replayed machines).
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return (self.hits, self.misses) == (other.hits, other.misses)
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return f"CacheStats(hits={self.hits}, misses={self.misses})"
 
 
 @dataclass
@@ -61,7 +95,7 @@ class SetAssociativeCache:
         self._assoc = config.assoc
         # set index -> {line_addr: None} in LRU order (oldest first)
         self._sets: Dict[int, Dict[int, None]] = {}
-        self.stats = CacheStats()
+        self.stats = CacheStats(scope=f"cache.{metrics.slug(config.name)}")
 
     @property
     def latency(self) -> int:
@@ -147,7 +181,15 @@ class CacheHierarchy:
             raise ValueError("need at least one cache level")
         self.levels = [SetAssociativeCache(cfg) for cfg in levels]
         self.memory_latency = memory_latency
-        self.memory_accesses = 0
+        self._memory_accesses = metrics.counter("cache.memory_accesses")
+
+    @property
+    def memory_accesses(self) -> int:
+        return self._memory_accesses.value
+
+    @memory_accesses.setter
+    def memory_accesses(self, value: int) -> None:
+        self._memory_accesses.value = value
 
     @classmethod
     def from_machine(cls, machine: MachineConfig) -> "CacheHierarchy":

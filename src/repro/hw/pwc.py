@@ -19,12 +19,46 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.arch import level_shift
 from repro.hw.config import PWCConfig
 from repro.analysis import sanitizer
+from repro.obs import metrics
 
 
-@dataclass
 class PWCStats:
-    hits: int = 0
-    misses: int = 0
+    """Hit/miss counters, registered as ``<scope>.hits``/``.misses``
+    with the metrics registry (:mod:`repro.obs.metrics`)."""
+
+    __slots__ = ("_hits", "_misses")
+
+    def __init__(self, scope: str = "pwc"):
+        self._hits = metrics.counter(f"{scope}.hits")
+        self._misses = metrics.counter(f"{scope}.misses")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
+
+    # Value semantics, as when this was a dataclass (parity tests
+    # compare the stats of independently replayed machines).
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PWCStats):
+            return NotImplemented
+        return (self.hits, self.misses) == (other.hits, other.misses)
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return f"PWCStats(hits={self.hits}, misses={self.misses})"
 
 
 @dataclass
@@ -96,13 +130,14 @@ class PageWalkCache:
     """
 
     def __init__(self, config: PWCConfig, top_level: int = 4,
-                 accept_rates: Optional[Sequence[float]] = None):
+                 accept_rates: Optional[Sequence[float]] = None,
+                 scope: str = "pwc"):
         self.config = config
         self.top_level = top_level
         # PWC level i caches nodes *pointed to by* radix level (top - i),
         # i.e. tables[0] -> skips L4, tables[-1] -> skips down to L2.
         self._tables = [_LRUTable(n) for n in config.entries_per_level]
-        self.stats = PWCStats()
+        self.stats = PWCStats(scope=scope)
         # Hit-rate thinning for scaled-down simulations: a hit at PWC
         # level i is *accepted* only at rate accept_rates[i], restoring the
         # hit rate the same structure would see against a full-size
@@ -200,7 +235,7 @@ class NestedPWC:
     def __init__(self, config: PWCConfig, accept_rate: float = 1.0):
         self.config = config
         self._table = _LRUTable(sum(config.entries_per_level))
-        self.stats = PWCStats()
+        self.stats = PWCStats(scope="pwc.nested")
         self._accept = accept_rate
         self._credit = 0.0
 

@@ -1,0 +1,24 @@
+"""Unified observability layer: metrics, trace spans, regression gate.
+
+Three cooperating pieces (DESIGN.md §9):
+
+* :mod:`repro.obs.metrics` — a process-wide registry of named counters,
+  gauges, and histograms. The hardware structures (TLBs, caches, PWCs),
+  walkers, DMT fetchers, the stage-1 memo, the sweep runner, and the
+  multi-process scheduler all register their counters here, so one
+  ``snapshot()`` call yields every live statistic as a flat dict.
+* :mod:`repro.obs.trace` — nested wall-time/RSS spans emitted as a JSONL
+  event stream, enabled with ``--trace <path>`` on ``run``/``sweep``.
+* :mod:`repro.obs.regress` — the bench-regression gate behind
+  ``python -m repro regress``: compares the current ``BENCH_engine.json``
+  and a sweep document against archived baselines and appends to
+  ``BENCH_trajectory.json`` on clean runs.
+
+The package deliberately imports nothing from the rest of ``repro`` so
+every layer (``hw``, ``translation``, ``core``, ``sim``) can instrument
+itself without creating import cycles.
+"""
+
+from repro.obs import metrics, regress, trace
+
+__all__ = ["metrics", "regress", "trace"]

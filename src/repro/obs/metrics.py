@@ -1,0 +1,228 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+Every statistic the simulator keeps — TLB and cache hit/miss counts, PWC
+hits, walker walk/cycle totals, DMT fetcher hits and fallbacks, stage-1
+memo reuse, sweep progress — is registered here at construction time
+under a dotted name (``tlb.l1d_tlb.hits``, ``walker.dmt-native.walks``,
+``sweep.cells``). A structure keeps its own private instrument object
+(so per-instance statistics still work through thin compatibility
+properties), while :meth:`MetricsRegistry.snapshot` aggregates every
+instance of a name into one flat ``{name: value}`` dict:
+
+* counters aggregate by **sum** across instances;
+* gauges aggregate **last-set-wins** (a monotonic stamp breaks ties);
+* histograms expand into ``name.count`` / ``name.sum`` / ``name.mean`` /
+  ``name.min`` / ``name.max``, merged across instances.
+
+The registry is process-wide (``registry()``); sweeps fan out across
+worker processes, so each worker accumulates its own registry — the
+sweep runner reports its cross-process progress through counters it owns
+in the parent (DESIGN.md §9). ``scoped()`` swaps in a fresh registry for
+a ``with`` block; instruments bind to the registry active at their
+construction time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Union
+
+MetricValue = Union[int, float]
+
+#: Monotonic stamp source for last-set-wins gauge aggregation.
+_SET_SEQ = itertools.count(1)
+
+
+class Counter:
+    """A monotonically accumulated named count (hits, walks, errors)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A named point-in-time value (depth, ratio, resident set size)."""
+
+    __slots__ = ("name", "value", "stamp")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: MetricValue = 0
+        self.stamp = 0
+
+    def set(self, value: MetricValue) -> None:
+        self.value = value
+        self.stamp = next(_SET_SEQ)
+
+    def reset(self) -> None:
+        self.value = 0
+        self.stamp = 0
+
+
+class Histogram:
+    """A running distribution summary (count / sum / mean / min / max)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.reset()
+
+    def observe(self, value: MetricValue) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: Optional[MetricValue] = None
+        self.max: Optional[MetricValue] = None
+
+
+class MetricsRegistry:
+    """Registry of every live instrument, keyed by dotted metric name.
+
+    ``counter``/``gauge``/``histogram`` create a *new* instrument bound
+    to this registry and return it; the caller keeps the reference and
+    mutates it directly (the hot paths never touch the registry).
+    Registering the same name twice with a different kind raises
+    ``TypeError`` — one name, one aggregation rule.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, List] = {}
+        self._kinds: Dict[str, type] = {}
+
+    def _make(self, name: str, kind: type):
+        registered = self._kinds.setdefault(name, kind)
+        if registered is not kind:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{registered.__name__}, not {kind.__name__}")
+        instrument = kind(name)
+        self._metrics.setdefault(name, []).append(instrument)
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._make(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._make(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._make(name, Histogram)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, MetricValue]:
+        """Flat ``{name: value}`` view of every registered metric.
+
+        ``prefix`` restricts the view to names starting with it (e.g.
+        ``"sweep."``). Counters sum across instances; gauges report the
+        most recently set instance; histograms expand into their summary
+        fields.
+        """
+        flat: Dict[str, MetricValue] = {}
+        for name in self.names():
+            if prefix is not None and not name.startswith(prefix):
+                continue
+            instances = self._metrics[name]
+            kind = self._kinds[name]
+            if kind is Counter:
+                flat[name] = sum(c.value for c in instances)
+            elif kind is Gauge:
+                flat[name] = max(instances, key=lambda g: g.stamp).value
+            else:
+                count = sum(h.count for h in instances)
+                total = sum(h.total for h in instances)
+                mins = [h.min for h in instances if h.min is not None]
+                maxes = [h.max for h in instances if h.max is not None]
+                flat[f"{name}.count"] = count
+                flat[f"{name}.sum"] = total
+                flat[f"{name}.mean"] = total / count if count else 0.0
+                flat[f"{name}.min"] = min(mins) if mins else 0
+                flat[f"{name}.max"] = max(maxes) if maxes else 0
+        return flat
+
+    def reset(self) -> None:
+        """Zero every instrument (instances stay registered)."""
+        for instances in self._metrics.values():
+            for instrument in instances:
+                instrument.reset()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The currently active process-wide registry."""
+    return _REGISTRY
+
+
+def set_registry(new: MetricsRegistry) -> MetricsRegistry:
+    """Swap the active registry; returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = new
+    return previous
+
+
+@contextmanager
+def scoped(new: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Swap in a fresh (or given) registry for the duration of the block.
+
+    Instruments constructed inside the block bind to the scoped registry
+    and keep writing to it after the block exits — scoping isolates
+    *registration*, not mutation.
+    """
+    fresh = new if new is not None else MetricsRegistry()
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)
+
+
+def counter(name: str) -> Counter:
+    """Register a counter with the active registry."""
+    return registry().counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Register a gauge with the active registry."""
+    return registry().gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Register a histogram with the active registry."""
+    return registry().histogram(name)
+
+
+def slug(name: str) -> str:
+    """Instance name -> metric-name segment: ``"L1D(pte)"`` -> ``"l1d_pte"``.
+
+    Lowercases and collapses every non-alphanumeric run into a single
+    underscore so structure display names compose into dotted metric
+    names without separators colliding.
+    """
+    parts = "".join(c if c.isalnum() else " " for c in name.lower()).split()
+    return "_".join(parts)

@@ -19,6 +19,7 @@ from typing import Dict, Optional
 
 from repro.analysis import sanitizer
 from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize, align_up
+from repro.obs import trace as obs_trace
 from repro.core.costs import Environment as MgmtEnv
 from repro.core.dmt_os import DMTLinux
 from repro.core.paravirt import PvDMTHost, PvTEAAllocator
@@ -171,6 +172,8 @@ class _SimulationBase:
     """Shared stage-1 plumbing."""
 
     designs: tuple = ()
+    #: Environment key in :data:`ENVIRONMENTS`; trace spans carry it.
+    env_name: str = "?"
 
     def __init__(self, workload_name: str, config: SimConfig,
                  stage1: Optional[Stage1Cache] = None):
@@ -206,14 +209,21 @@ class _SimulationBase:
         """Replay the miss stream through one design (cached per design)."""
         key = f"{design}:{collect_steps}"
         if key not in self._stats_cache:
-            walker = self.walker(design)
-            self._stats_cache[key] = replay_walks(
-                walker,
-                self.tlb.miss_vas,
-                warmup_fraction=self.config.warmup_fraction,
-                collect_steps=collect_steps,
-                engine=self.config.walk_engine,
-            )
+            with obs_trace.span("stage2.replay", env=self.env_name,
+                                workload=self.workload.name, design=design,
+                                thp=self.config.thp) as sp:
+                walker = self.walker(design)
+                stats = replay_walks(
+                    walker,
+                    self.tlb.miss_vas,
+                    warmup_fraction=self.config.warmup_fraction,
+                    collect_steps=collect_steps,
+                    engine=self.config.walk_engine,
+                )
+                if sp is not None:
+                    sp["walks"] = stats.walks
+                    sp["engine"] = stats.engine
+            self._stats_cache[key] = stats
         return self._stats_cache[key]
 
     def _stage1_key(self) -> tuple:
@@ -230,18 +240,26 @@ class _SimulationBase:
 
     def _trace_and_filter(self, process, layout) -> TLBFilterResult:
         def build() -> TLBFilterResult:
-            trace = self.workload.generate_trace(layout, self.config.nrefs,
-                                                 self.config.seed)
-            accept = None
-            if self.config.scale_mmu_caches:
-                ws = self.workload.working_set_bytes()
-                paper_ws = int(self.workload.paper_working_set_gb * (1 << 30))
-                if ws < paper_ws:
-                    accept = tlb_accept_rates(self.config.machine, ws,
-                                              paper_ws)
-            return tlb_filter(trace, self.config.machine,
-                              make_size_lookup(process.page_table),
-                              accept_rates=accept, engine=self.config.engine)
+            with obs_trace.span("stage1", workload=self.workload.name,
+                                thp=self.config.thp) as sp:
+                trace = self.workload.generate_trace(layout, self.config.nrefs,
+                                                     self.config.seed)
+                accept = None
+                if self.config.scale_mmu_caches:
+                    ws = self.workload.working_set_bytes()
+                    paper_ws = int(
+                        self.workload.paper_working_set_gb * (1 << 30))
+                    if ws < paper_ws:
+                        accept = tlb_accept_rates(self.config.machine, ws,
+                                                  paper_ws)
+                result = tlb_filter(trace, self.config.machine,
+                                    make_size_lookup(process.page_table),
+                                    accept_rates=accept,
+                                    engine=self.config.engine)
+                if sp is not None:
+                    sp["refs"] = result.total_refs
+                    sp["misses"] = result.miss_count
+            return result
 
         if self._stage1 is None:
             start = time.perf_counter()
@@ -259,6 +277,7 @@ class NativeSimulation(_SimulationBase):
     """Bare-metal environment (Figure 14)."""
 
     designs = ("vanilla", "fpt", "ecpt", "asap", "dmt")
+    env_name = "native"
 
     def __init__(self, workload_name: str, config: Optional[SimConfig] = None,
                  stage1: Optional[Stage1Cache] = None):
@@ -316,6 +335,7 @@ class VirtSimulation(_SimulationBase):
 
     designs = ("vanilla", "shadow", "fpt", "ecpt", "agile", "asap",
                "dmt", "pvdmt")
+    env_name = "virt"
 
     def __init__(self, workload_name: str, config: Optional[SimConfig] = None,
                  stage1: Optional[Stage1Cache] = None):
@@ -470,6 +490,7 @@ class NestedSimulation(_SimulationBase):
     """Nested virtualization (Figure 17)."""
 
     designs = ("vanilla", "pvdmt")
+    env_name = "nested"
 
     def __init__(self, workload_name: str, config: Optional[SimConfig] = None,
                  stage1: Optional[Stage1Cache] = None):

@@ -54,15 +54,25 @@ def apply_model(
 
     ``o_sim_*`` are the simulated translation-overhead totals (cycles) of
     the environment's vanilla design and of the target design over the
-    same miss stream. ``retained_other_fraction`` scales the baseline's
-    non-walk virtualization overhead (1.0 keeps it — hardware-assisted
-    nested paging baselines have none anyway; 0.0 removes it — pvDMT
+    same miss stream. A zero ``o_sim_vanilla`` is a broken replay (an
+    empty miss stream or a baseline that never ran), so it raises
+    :class:`ValueError` instead of silently modeling a 1.0 ratio.
+    ``retained_other_fraction`` scales the baseline's non-walk
+    virtualization overhead (1.0 keeps it — hardware-assisted nested
+    paging baselines have none anyway; 0.0 removes it — pvDMT
     eliminating shadow paging; Agile Paging retains a small fraction).
     """
+    if not o_sim_vanilla:
+        raise ValueError(
+            f"o_sim_vanilla is zero for workload={workload!r} "
+            f"environment={environment!r} design={design!r}: the baseline "
+            f"replay produced no translation overhead (empty miss stream "
+            f"or unrun baseline), so the overhead ratio is undefined"
+        )
     env = profile(workload).env(environment)
     t_vanilla, o_measured, other_measured = _fractions(env, thp)
     t_ideal = t_vanilla - o_measured - other_measured
-    ratio = o_sim_target / o_sim_vanilla if o_sim_vanilla else 1.0
+    ratio = o_sim_target / o_sim_vanilla
     t_target = (
         o_measured * ratio
         + t_ideal

@@ -33,6 +33,8 @@ import numpy as np
 from repro.arch import PageSize
 from repro.hw.config import MachineConfig
 from repro.hw.tlb import TLBHierarchy
+from repro.obs import metrics
+from repro.obs import trace as obs_trace
 from repro.sim import tlb_vec
 from repro.translation.base import Walker
 
@@ -167,15 +169,22 @@ def tlb_filter(
     ``engine="scalar"`` runs the dict-backed oracle. Both emit the same
     miss stream bit for bit.
     """
-    if engine == "vec":
-        misses = tlb_vec.filter_misses(trace, machine, size_lookup,
+    with obs_trace.span("stage1.tlb_filter", engine=engine,
+                        refs=len(trace)) as sp:
+        if engine == "vec":
+            misses = tlb_vec.filter_misses(trace, machine, size_lookup,
+                                           asid=asid,
+                                           accept_rates=accept_rates)
+            result = TLBFilterResult(misses, len(trace))
+        elif engine == "scalar":
+            result = tlb_filter_scalar(trace, machine, size_lookup,
                                        asid=asid, accept_rates=accept_rates)
-        return TLBFilterResult(misses, len(trace))
-    if engine == "scalar":
-        return tlb_filter_scalar(trace, machine, size_lookup,
-                                 asid=asid, accept_rates=accept_rates)
-    raise ValueError(f"unknown stage-1 engine {engine!r} "
-                     "(expected 'vec' or 'scalar')")
+        else:
+            raise ValueError(f"unknown stage-1 engine {engine!r} "
+                             "(expected 'vec' or 'scalar')")
+        if sp is not None:
+            sp["misses"] = result.miss_count
+        return result
 
 
 @dataclass
@@ -327,10 +336,18 @@ class Stage1Cache:
 
     def __init__(self):
         self._entries: Dict[Tuple, Tuple[TLBFilterResult, float]] = {}
-        self.computed = 0
-        self.reused = 0
+        self._computed = metrics.counter("stage1.computed")
+        self._reused = metrics.counter("stage1.reused")
         self.last_seconds = 0.0
         self.last_reused = False
+
+    @property
+    def computed(self) -> int:
+        return self._computed.value
+
+    @property
+    def reused(self) -> int:
+        return self._reused.value
 
     def fetch(self, key: Tuple,
               build: Callable[[], TLBFilterResult]) -> TLBFilterResult:
@@ -340,11 +357,11 @@ class Stage1Cache:
             result = build()
             seconds = time.perf_counter() - start
             self._entries[key] = (result, seconds)
-            self.computed += 1
+            self._computed.inc()
             self.last_seconds = seconds
             self.last_reused = False
             return result
-        self.reused += 1
+        self._reused.inc()
         self.last_seconds = entry[1]
         self.last_reused = True
         return entry[0]

@@ -31,6 +31,8 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics
+from repro.obs import trace as obs_trace
 from repro.sim.machine import ENVIRONMENTS, SimConfig
 from repro.sim.simulator import Stage1Cache
 
@@ -39,7 +41,9 @@ ALL_WORKLOADS = ["Redis", "Memcached", "GUPS", "BTree", "Canneal",
                  "XSBench", "Graph500"]
 
 #: A group task — one (workload, THP) pair across every swept
-#: environment — as picklable primitives.
+#: environment — as picklable primitives. A sixth element (trace JSONL
+#: path for the worker's span stream) is optional; 5-tuples from older
+#: callers keep working.
 GroupTask = Tuple[Tuple[str, ...], str, bool, Optional[Tuple[str, ...]], Dict]
 
 
@@ -84,81 +88,115 @@ def run_group(task: GroupTask) -> List[Dict]:
     (each cell's ``stage1_reused`` telemetry records which). Returns one
     telemetry dict per grid cell; a design that raises yields an error
     cell while the group's other designs still complete (a failed
-    machine build fails that environment's cells). Module-level so the
-    process pool can pickle it.
+    machine build fails that environment's cells). A requested design no
+    swept environment provides yields an error cell instead of being
+    silently dropped. Module-level so the process pool can pickle it.
     """
-    envs, workload, thp, designs, config_kwargs = task
+    envs, workload, thp, designs, config_kwargs = task[:5]
+    trace_path = task[5] if len(task) > 5 else None
+    if trace_path:
+        obs_trace.enable(trace_path)
     stage1 = Stage1Cache()
     cells: List[Dict] = []
+    # Design availability is a static property of the environment
+    # classes, so an unknown design is detected even when a machine
+    # build fails for other reasons (e.g. an unknown workload).
+    provided: set = set()
     for env in envs:
-        try:
-            config = SimConfig(thp=thp, **config_kwargs)
-            build_start = time.perf_counter()
-            sim = build_sim(env, workload, config, stage1=stage1)
-            build_seconds = time.perf_counter() - build_start
-        except Exception as exc:
-            cells.append(error_cell(env, workload, thp, None, exc))
-            continue
-
-        available = list(sim.designs)
-        requested = [d for d in (designs or available) if d in available]
-        env_cells: List[Dict] = []
-        latency: Dict[str, float] = {}
-        for design in requested:
-            replay_start = time.perf_counter()
+        env_cls = ENVIRONMENTS.get(env)
+        if env_cls is not None:
+            provided.update(env_cls.designs)
+    with obs_trace.span("sweep.run_group", envs="+".join(envs),
+                        workload=workload, thp=thp):
+        for env in envs:
             try:
-                stats = sim.run(design)
+                config = SimConfig(thp=thp, **config_kwargs)
+                build_start = time.perf_counter()
+                with obs_trace.span("sweep.build_sim", env=env,
+                                    workload=workload, thp=thp):
+                    sim = build_sim(env, workload, config, stage1=stage1)
+                build_seconds = time.perf_counter() - build_start
             except Exception as exc:
-                env_cells.append(error_cell(env, workload, thp, design, exc))
+                cells.append(error_cell(env, workload, thp, None, exc))
                 continue
-            replay_seconds = time.perf_counter() - replay_start
-            latency[design] = stats.mean_latency
-            env_cells.append({
-                "env": env,
-                "workload": workload,
-                "design": design,
-                "thp": thp,
-                "walks": stats.walks,
-                "mean_latency": stats.mean_latency,
-                "fallback_rate": stats.fallback_rate,
-                "miss_count": sim.tlb.miss_count,
-                "total_refs": sim.tlb.total_refs,
-                "tlb_miss_rate": sim.tlb.miss_rate,
-                "stage1_seconds": sim.stage1_seconds,
-                "stage1_reused": sim.stage1_reused,
-                "walk_engine": stats.engine,
-                "replay_seconds": replay_seconds,
-                "walks_per_second": (stats.walks / replay_seconds
-                                     if replay_seconds > 0 else 0.0),
-                "build_seconds": build_seconds,
-                "peak_rss_kb": peak_rss_kb(),
-                "worker_pid": os.getpid(),
-            })
-        vanilla = latency.get("vanilla")
-        for cell in env_cells:
-            if "error" in cell:
-                continue
-            cell["walk_speedup"] = (
-                vanilla / cell["mean_latency"]
-                if vanilla and cell["mean_latency"] else None)
-        cells.extend(env_cells)
+
+            available = list(sim.designs)
+            requested = [d for d in (designs or available) if d in available]
+            env_cells = _run_env_cells(sim, env, workload, thp, requested,
+                                       build_seconds)
+            cells.extend(env_cells)
+    for design in designs or ():
+        if design not in provided:
+            exc = KeyError(f"unknown design {design!r}; no swept "
+                           f"environment provides it")
+            cells.append(error_cell("+".join(envs), workload, thp,
+                                    design, exc))
     return cells
+
+
+def _run_env_cells(sim, env: str, workload: str, thp: bool,
+                   requested: List[str], build_seconds: float) -> List[Dict]:
+    """Replay every requested design on one built machine."""
+    env_cells: List[Dict] = []
+    latency: Dict[str, float] = {}
+    for design in requested:
+        replay_start = time.perf_counter()
+        try:
+            stats = sim.run(design)
+        except Exception as exc:
+            env_cells.append(error_cell(env, workload, thp, design, exc))
+            continue
+        replay_seconds = time.perf_counter() - replay_start
+        latency[design] = stats.mean_latency
+        env_cells.append({
+            "env": env,
+            "workload": workload,
+            "design": design,
+            "thp": thp,
+            "walks": stats.walks,
+            "mean_latency": stats.mean_latency,
+            "fallback_rate": stats.fallback_rate,
+            "miss_count": sim.tlb.miss_count,
+            "total_refs": sim.tlb.total_refs,
+            "tlb_miss_rate": sim.tlb.miss_rate,
+            "stage1_seconds": sim.stage1_seconds,
+            "stage1_reused": sim.stage1_reused,
+            "walk_engine": stats.engine,
+            "replay_seconds": replay_seconds,
+            "walks_per_second": (stats.walks / replay_seconds
+                                 if replay_seconds > 0 else 0.0),
+            "build_seconds": build_seconds,
+            "peak_rss_kb": peak_rss_kb(),
+            "worker_pid": os.getpid(),
+        })
+    vanilla = latency.get("vanilla")
+    for cell in env_cells:
+        if "error" in cell:
+            continue
+        cell["walk_speedup"] = (
+            vanilla / cell["mean_latency"]
+            if vanilla and cell["mean_latency"] else None)
+    return env_cells
 
 
 def grid_tasks(envs: Sequence[str],
                workloads: Optional[Sequence[str]] = None,
                designs: Optional[Sequence[str]] = None,
                thp_modes: Sequence[bool] = (False,),
+               trace_path: Optional[str] = None,
                **config_kwargs) -> List[GroupTask]:
     """Enumerate the group tasks of a sweep.
 
     One task per (workload, THP) pair covering every environment, so a
-    single worker computes stage 1 once and replays it everywhere.
+    single worker computes stage 1 once and replays it everywhere. With
+    ``trace_path`` set, each task carries the span-stream destination so
+    pool workers append to the shared JSONL file.
     """
     names = list(workloads or ALL_WORKLOADS)
     wanted = tuple(designs) if designs else None
     env_tuple = tuple(envs)
-    return [(env_tuple, workload, thp, wanted, dict(config_kwargs))
+    return [(env_tuple, workload, thp, wanted, dict(config_kwargs),
+             trace_path)
             for workload in names for thp in thp_modes]
 
 
@@ -169,55 +207,92 @@ def run_sweep(envs: Sequence[str] = ("native",),
               workers: Optional[int] = None,
               out_path: Optional[str] = None,
               progress: Optional[Callable[[str], None]] = None,
+              trace_path: Optional[str] = None,
               **config_kwargs) -> Dict:
     """Run the grid, fanning groups across ``workers`` processes.
 
     ``config_kwargs`` (scale, nrefs, seed, levels, register_count, ...)
     are forwarded to each worker's :class:`SimConfig`. ``workers`` of 0/1
-    runs inline — same results, no pool. Returns the JSON-ready document
-    ``{"meta": ..., "cells": [...]}`` and writes it to ``out_path`` when
-    given.
+    runs inline — same results, no pool. Raises :class:`KeyError` for an
+    unknown environment or a design no swept environment provides (a
+    design valid in only *some* swept environments is fine — it just
+    runs where available). With ``trace_path`` set, every group's span
+    stream appends to that JSONL file (:mod:`repro.obs.trace`). Returns
+    the JSON-ready document ``{"meta": ..., "cells": [...]}`` and writes
+    it to ``out_path`` when given.
     """
     for env in envs:
         if env not in ENVIRONMENTS:
             raise KeyError(f"unknown environment {env!r}; "
                            f"have {sorted(ENVIRONMENTS)}")
-    tasks = grid_tasks(envs, workloads, designs, thp_modes, **config_kwargs)
+    known_designs = set()
+    for env in envs:
+        known_designs.update(ENVIRONMENTS[env].designs)
+    for design in designs or ():
+        if design not in known_designs:
+            raise KeyError(f"unknown design {design!r}; swept environments "
+                           f"provide {sorted(known_designs)}")
+    tasks = grid_tasks(envs, workloads, designs, thp_modes,
+                       trace_path=trace_path, **config_kwargs)
     if workers is None:
         workers = os.cpu_count() or 1
     notify = progress or (lambda message: None)
 
+    # Parent-side progress counters; pool workers count in their own
+    # registries, so these instances are the sweep-wide truth.
+    groups_done = metrics.counter("sweep.groups")
+    cells_done = metrics.counter("sweep.cells")
+    errors_seen = metrics.counter("sweep.error_cells")
+    if trace_path:
+        obs_trace.enable(trace_path)
+
     started = time.time()
     cells: List[Dict] = []
     done = 0
-    if workers <= 1 or len(tasks) <= 1:
-        for task in tasks:
-            cells.extend(run_group(task))
-            done += 1
-            notify(f"[{done}/{len(tasks)}] {'+'.join(task[0])}/{task[1]}"
-                   f"{' thp' if task[2] else ''} done (inline)")
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            futures = {pool.submit(run_group, task): task for task in tasks}
-            for future in as_completed(futures):
-                task = futures[future]
-                try:
-                    group_cells = future.result()
-                except Exception as exc:
-                    # run_group catches cell failures itself; reaching here
-                    # means the worker process died (OOM kill, segfault) or
-                    # the result failed to unpickle — record the group as
-                    # an error per environment instead of poisoning the
-                    # whole sweep.
-                    group_cells = [error_cell(env, task[1], task[2],
-                                              None, exc)
-                                   for env in task[0]]
+    try:
+        if workers <= 1 or len(tasks) <= 1:
+            for task in tasks:
+                group_cells = run_group(task)
                 cells.extend(group_cells)
                 done += 1
-                failed = sum(1 for cell in group_cells if "error" in cell)
+                groups_done.inc()
+                cells_done.inc(len(group_cells))
+                errors_seen.inc(
+                    sum(1 for cell in group_cells if "error" in cell))
                 notify(f"[{done}/{len(tasks)}] {'+'.join(task[0])}/{task[1]}"
-                       f"{' thp' if task[2] else ''} "
-                       f"{'FAILED' if failed else 'done'}")
+                       f"{' thp' if task[2] else ''} done (inline)")
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(tasks))) as pool:
+                futures = {pool.submit(run_group, task): task
+                           for task in tasks}
+                for future in as_completed(futures):
+                    task = futures[future]
+                    try:
+                        group_cells = future.result()
+                    except Exception as exc:
+                        # run_group catches cell failures itself; reaching
+                        # here means the worker process died (OOM kill,
+                        # segfault) or the result failed to unpickle —
+                        # record the group as an error per environment
+                        # instead of poisoning the whole sweep.
+                        group_cells = [error_cell(env, task[1], task[2],
+                                                  None, exc)
+                                       for env in task[0]]
+                    cells.extend(group_cells)
+                    done += 1
+                    failed = sum(1 for cell in group_cells
+                                 if "error" in cell)
+                    groups_done.inc()
+                    cells_done.inc(len(group_cells))
+                    errors_seen.inc(failed)
+                    notify(f"[{done}/{len(tasks)}] "
+                           f"{'+'.join(task[0])}/{task[1]}"
+                           f"{' thp' if task[2] else ''} "
+                           f"{'FAILED' if failed else 'done'}")
+    finally:
+        if trace_path:
+            obs_trace.disable()
     wall_seconds = time.time() - started
 
     cells.sort(key=lambda c: (c["env"], c["workload"], c["thp"],
@@ -235,6 +310,12 @@ def run_sweep(envs: Sequence[str] = ("native",),
             "wall_seconds": wall_seconds,
             "started_at": time.strftime("%Y-%m-%dT%H:%M:%S%z",
                                         time.localtime(started)),
+            "trace": trace_path,
+            "metrics": {
+                "sweep.groups": groups_done.value,
+                "sweep.cells": cells_done.value,
+                "sweep.error_cells": errors_seen.value,
+            },
         },
         "cells": cells,
     }

@@ -11,6 +11,7 @@ are), which is what DMT's register coverage depends on.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, List, Tuple
 
@@ -111,8 +112,14 @@ class Workload:
 
     def generate_trace(self, layout: InstalledLayout, nrefs: int,
                        seed: int = 0) -> np.ndarray:
-        """An int64 array of absolute virtual addresses."""
-        rng = np.random.default_rng(seed ^ hash(self.name) & 0xFFFF_FFFF)
+        """An int64 array of absolute virtual addresses.
+
+        The per-workload salt must be reproducible across interpreter
+        runs, so it is a CRC of the name — builtin ``hash()`` on a str
+        is salted by PYTHONHASHSEED and made every trace (and every
+        downstream miss stream and latency) vary run to run.
+        """
+        rng = np.random.default_rng(seed ^ zlib.crc32(self.name.encode()))
         trace = self.trace_fn(self, layout, nrefs, rng)
         return trace.astype(np.int64)
 

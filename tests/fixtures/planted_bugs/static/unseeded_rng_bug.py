@@ -10,3 +10,7 @@ import numpy as np
 def jitter():
     rng = np.random.default_rng()  # planted L201: no seed
     return rng.normal() + random.random()  # planted L202: global RNG
+
+
+def salted_seed(name):
+    return np.random.default_rng(hash(name))  # planted L204: salted hash

@@ -15,7 +15,7 @@ STATIC = REPO / "tests" / "fixtures" / "planted_bugs" / "static"
 EXPECTED = {
     "addr_float_bug.py": {"L101", "L102"},
     "magic_mask_bug.py": {"L103"},
-    "unseeded_rng_bug.py": {"L201", "L202"},
+    "unseeded_rng_bug.py": {"L201", "L202", "L204"},
     "set_iteration_bug.py": {"L203"},
     "uncited_cost_bug.py": {"L301"},
     "unreferenced_vec_bug.py": {"L401"},

@@ -38,6 +38,20 @@ class TestScheduling:
         assert stats.per_design["dmt"]["switch_overhead_fraction"] < 0.15, \
             "register reloads must not dominate translation cost (§4.1)"
 
+    def test_reload_cycles_charged_into_latency(self, sim):
+        """mean_latency must include the register-reload cost of switches."""
+        stats = sim.run("dmt")
+        design = stats.per_design["dmt"]
+        assert design["charged_cycles"] == \
+            design["walk_cycles"] + stats.register_reload_cycles
+        assert design["mean_latency"] == pytest.approx(
+            design["charged_cycles"] / design["walks"])
+        assert design["mean_latency"] > \
+            design["walk_cycles"] / design["walks"]
+        # and the overhead fraction's denominator contains its numerator
+        assert design["switch_overhead_fraction"] == pytest.approx(
+            stats.register_reload_cycles / design["charged_cycles"])
+
     def test_unknown_design_rejected(self, sim):
         with pytest.raises(KeyError):
             sim.run("ecpt")

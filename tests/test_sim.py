@@ -155,6 +155,17 @@ class TestPerfModel:
         assert model.pw_speedup == pytest.approx(2.0)
         assert model.design == "dmt"
 
+    def test_zero_vanilla_overhead_rejected(self):
+        """A zero baseline overhead is a broken replay, not ratio 1.0."""
+        with pytest.raises(ValueError, match="o_sim_vanilla"):
+            apply_model("GUPS", "native", "dmt", 0.0, 100.0)
+
+    def test_zero_vanilla_stats_rejected(self):
+        vanilla = WalkStats("vanilla", walks=0, total_cycles=0)
+        target = WalkStats("dmt", walks=10, total_cycles=500)
+        with pytest.raises(ValueError, match="o_sim_vanilla"):
+            model_from_stats("Redis", "virt_npt", vanilla, target)
+
     def test_baseline_times_normalized_shape(self):
         """Figure 4: virt > native, nested >> native for every workload."""
         for name in CALIBRATION:

@@ -69,6 +69,21 @@ class TestTraces:
         t3 = wl.generate_trace(layout, 2000, seed=8)
         assert not np.array_equal(t1, t3)
 
+    def test_trace_salt_is_interpreter_stable(self):
+        """The per-workload RNG salt must not come from builtin hash():
+        str hashes are salted by PYTHONHASHSEED, which once made every
+        trace — and every downstream latency — vary run to run."""
+        import zlib
+
+        kernel = Kernel(memory_bytes=256 * MB)
+        proc = kernel.create_process()
+        wl = get("Redis", 4096)
+        layout = wl.install(proc, populate=False)
+        expected_rng = np.random.default_rng(7 ^ zlib.crc32(b"Redis"))
+        expected = wl.trace_fn(wl, layout, 2000, expected_rng).astype(np.int64)
+        assert np.array_equal(wl.generate_trace(layout, 2000, seed=7),
+                              expected)
+
     def test_gups_is_uniform(self):
         kernel = Kernel(memory_bytes=256 * MB)
         proc = kernel.create_process()
