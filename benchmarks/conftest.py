@@ -10,7 +10,10 @@ Environment knobs:
 
 * ``REPRO_BENCH_SCALE``   — working-set divisor (default 512);
 * ``REPRO_BENCH_NREFS``   — trace length (default 30000);
-* ``REPRO_BENCH_WORKLOADS`` — comma-separated subset (default: all seven).
+* ``REPRO_BENCH_WORKLOADS`` — comma-separated subset (default: all seven);
+* ``REPRO_BENCH_ARTIFACTS`` — directory for the cross-run artifact
+  cache (:mod:`repro.sim.artifacts`); unset disables persistence and
+  machines share only the in-process stage-1 memo.
 """
 
 from __future__ import annotations
@@ -21,10 +24,13 @@ from typing import Dict, List, Tuple
 import pytest
 
 from repro.sim import SimConfig
+from repro.sim.artifacts import ArtifactCache
+from repro.sim.simulator import Stage1Cache
 from repro.sim.sweep import ALL_WORKLOADS, build_sim
 
 SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "512"))
 NREFS = int(os.environ.get("REPRO_BENCH_NREFS", "30000"))
+ARTIFACT_DIR = os.environ.get("REPRO_BENCH_ARTIFACTS", "").strip() or None
 
 _env_workloads = os.environ.get("REPRO_BENCH_WORKLOADS", "").strip()
 WORKLOADS: List[str] = (
@@ -42,11 +48,17 @@ class SimCache:
     """Session-wide store of built simulation machines and run results.
 
     Machine construction goes through :func:`repro.sim.sweep.build_sim`,
-    the same entry point the parallel sweep runner's workers use.
+    the same entry point the parallel sweep runner's workers use. Every
+    machine shares one :class:`Stage1Cache` (keys are per workload and
+    config, so sharing is safe) — with ``REPRO_BENCH_ARTIFACTS`` set it
+    is backed by the on-disk artifact cache, so a bench session reuses
+    traces and miss streams computed by earlier sessions.
     """
 
     def __init__(self):
         self._sims: Dict[Tuple, object] = {}
+        artifacts = ArtifactCache(ARTIFACT_DIR) if ARTIFACT_DIR else None
+        self.stage1 = Stage1Cache(artifacts=artifacts)
         #: cross-bench numeric results (e.g. Table 5 reuses Fig. 14/15 data)
         self.results: Dict[str, object] = {}
 
@@ -55,7 +67,8 @@ class SimCache:
         key = (env, workload, thp, record_refs)
         if key not in self._sims:
             cfg = bench_config(thp=thp, record_refs=record_refs)
-            self._sims[key] = build_sim(env, workload, cfg)
+            self._sims[key] = build_sim(env, workload, cfg,
+                                        stage1=self.stage1)
         return self._sims[key]
 
 

@@ -10,6 +10,8 @@ Examples::
     python -m repro sweep --env native --workers 4
     python -m repro sweep --env native,virt --pages both --out sweep.json
     python -m repro sweep --env native --trace trace.jsonl
+    python -m repro sweep --env native --artifact-cache /tmp/repro-cache
+    python -m repro run --workload GUPS --env virt --artifact-cache cache/
     python -m repro regress --sweep sweep.json
     python -m repro table1
     python -m repro lint
@@ -54,15 +56,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
                        register_count=args.register_count,
                        engine=args.engine, walk_engine=args.walk_engine,
                        sanitize=args.sanitize)
+    stage1 = None
+    if args.artifact_cache and not args.no_artifact_cache:
+        from repro.sim.artifacts import ArtifactCache
+        from repro.sim.simulator import Stage1Cache
+
+        stage1 = Stage1Cache(artifacts=ArtifactCache(args.artifact_cache))
     if args.trace:
         obs_trace.enable(args.trace)
     try:
         print(f"building {args.env} machine for {args.workload} "
               f"(scale 1/{args.scale}, {args.nrefs} refs, "
               f"{'THP' if args.thp else '4KB'}) ...")
-        sim = env_cls(args.workload, config)
+        sim = env_cls(args.workload, config, stage1=stage1)
+        source = f", stage 1 from {sim.stage1_source}" if stage1 else ""
         print(f"TLB miss rate {sim.tlb.miss_rate:.1%} "
-              f"({sim.tlb.miss_count} walks)\n")
+              f"({sim.tlb.miss_count} walks{source})\n")
 
         designs = (args.designs.split(",") if args.designs
                    else list(env_cls.designs))
@@ -122,12 +131,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.workloads else None
     designs = [d for d in args.designs.split(",") if d] \
         if args.designs else None
+    artifact_dir = None if args.no_artifact_cache \
+        else (args.artifact_cache or ".repro-artifacts")
 
     try:
         document = run_sweep(
             envs=envs, workloads=workloads, designs=designs,
             thp_modes=thp_modes[args.pages], workers=args.workers,
             out_path=args.out, progress=print, trace_path=args.trace,
+            artifact_dir=artifact_dir,
             scale=args.scale, nrefs=args.nrefs, seed=args.seed,
             levels=args.levels, register_count=args.register_count,
             walk_engine=args.walk_engine, sanitize=args.sanitize,
@@ -149,6 +161,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"\nwrote {document['meta']['cells']} cells to {args.out}")
     if args.trace:
         print(f"trace spans appended to {args.trace}")
+    if artifact_dir:
+        disk = sum(1 for cell in document["cells"]
+                   if cell.get("stage1_source") == "disk")
+        print(f"artifact cache {artifact_dir}: {disk} cell(s) served "
+              f"stage 1 from disk")
     errors = document["meta"]["metrics"]["sweep.error_cells"]
     if errors:
         print(f"warning: {errors} error cell(s) in the sweep",
@@ -224,6 +241,14 @@ def main(argv=None) -> int:
     simopts.add_argument("--trace", default=None, metavar="PATH",
                          help="append trace spans (stage-1 filter, stage-2 "
                               "replays, sweep groups) to this JSONL file")
+    simopts.add_argument("--artifact-cache", default=None, metavar="DIR",
+                         help="persist stage-0 traces and stage-1 miss "
+                              "streams to this content-addressed cache "
+                              "directory and reuse them across runs "
+                              "(sweep default: .repro-artifacts; run "
+                              "default: off)")
+    simopts.add_argument("--no-artifact-cache", action="store_true",
+                         help="disable the on-disk artifact cache")
 
     run = sub.add_parser("run", parents=[common, simopts],
                          help="simulate one workload/environment")

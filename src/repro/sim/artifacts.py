@@ -1,0 +1,184 @@
+"""Content-addressed on-disk cache for cross-run simulation artifacts.
+
+The in-process :class:`~repro.sim.simulator.Stage1Cache` already keeps a
+sweep group from recomputing its trace and TLB-miss stream, but the memo
+dies with the worker. This module persists those artifacts across
+processes and runs: an :class:`ArtifactCache` stores int64 arrays (the
+stage-0 address trace, the stage-1 miss stream) under a content address
+— the SHA-256 digest of a canonical-JSON payload combining a schema
+version, the artifact *stage*, and the stage's key material (workload
+name, scale, nrefs, seed, THP mode, tree depth, ...). Anything that can
+change the bytes of the artifact must be in the key; the digest is then
+stable across interpreter invocations, ``PYTHONHASHSEED`` values, and
+machines (``tests/test_artifacts.py`` pins this with a subprocess).
+
+Each artifact is two files in the cache directory, ``<digest>.npy``
+(the array, ``allow_pickle=False`` both ways) and ``<digest>.json``
+(the key material echoed back, plus caller metadata such as the
+original compute time). Writes go to a per-process temp name and
+``os.replace`` into place, so concurrent sweep workers sharing one
+directory either see a complete artifact or none. Loads verify the
+sidecar against the requested stage/key/schema; a mismatch (digest
+collision, stale schema) or an unreadable payload (corruption, torn
+write) **evicts** the entry and reports a miss, so the caller simply
+recomputes and re-stores.
+
+Telemetry: counters ``artifacts.hits`` / ``artifacts.misses`` /
+``artifacts.evictions`` / ``artifacts.bytes_read`` /
+``artifacts.bytes_written`` and ``artifact.load`` / ``artifact.store``
+trace spans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import metrics
+from repro.obs import trace as obs_trace
+
+#: Bump when the digest payload or the on-disk layout changes shape;
+#: entries written under another schema are evicted on load.
+SCHEMA_VERSION = 1
+
+
+def digest(stage: str, key) -> str:
+    """Content address of an artifact: SHA-256 over canonical JSON.
+
+    ``key`` must be JSON-serializable (the stage-1 signature tuples of
+    primitives qualify; tuples canonicalize to lists). The builtin
+    ``hash()`` is banned here twice over — dmtlint L2 and the fact that
+    it is salted per process, which is exactly what a cross-run cache
+    cannot tolerate.
+    """
+    payload = json.dumps(
+        {"schema": SCHEMA_VERSION, "stage": stage, "key": key},
+        sort_keys=True, separators=(",", ":"), ensure_ascii=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _canonical(key):
+    """The key as it reads back from the JSON sidecar (tuples -> lists)."""
+    return json.loads(json.dumps(key))
+
+
+class ArtifactCache:
+    """One cache directory of content-addressed simulation artifacts."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._hits = metrics.counter("artifacts.hits")
+        self._misses = metrics.counter("artifacts.misses")
+        self._evictions = metrics.counter("artifacts.evictions")
+        self._bytes_read = metrics.counter("artifacts.bytes_read")
+        self._bytes_written = metrics.counter("artifacts.bytes_written")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    def _paths(self, key_digest: str) -> Tuple[str, str]:
+        return (os.path.join(self.root, key_digest + ".npy"),
+                os.path.join(self.root, key_digest + ".json"))
+
+    def evict(self, key_digest: str) -> None:
+        """Drop an entry (missing files are fine — a concurrent worker
+        may have evicted or replaced it first)."""
+        self._evictions.inc()
+        for path in self._paths(key_digest):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    def load_array(self, stage: str,
+                   key) -> Optional[Tuple[np.ndarray, Dict]]:
+        """The stored ``(array, meta)`` for ``(stage, key)``, or None.
+
+        None covers both a plain miss and a corrupt/mismatched entry
+        (which is evicted on the way out) — the caller's response is
+        the same: compute and :meth:`store_array`.
+        """
+        key_digest = digest(stage, key)
+        npy_path, meta_path = self._paths(key_digest)
+        with obs_trace.span("artifact.load", stage=stage,
+                            digest=key_digest[:12]) as sp:
+            try:
+                with open(meta_path, encoding="utf-8") as handle:
+                    sidecar = json.load(handle)
+                ok = (sidecar.get("schema") == SCHEMA_VERSION
+                      and sidecar.get("stage") == stage
+                      and sidecar.get("key") == _canonical(key))
+                if not ok:
+                    self.evict(key_digest)
+                    raise ValueError("sidecar does not match the request")
+                array = np.load(npy_path, allow_pickle=False)
+            except (OSError, ValueError, EOFError, json.JSONDecodeError):
+                # missing entry, torn write, corrupt payload, stale
+                # schema, or a digest collision: treat all as a miss
+                if os.path.exists(npy_path) or os.path.exists(meta_path):
+                    self.evict(key_digest)
+                self._misses.inc()
+                if sp is not None:
+                    sp["hit"] = False
+                return None
+            self._hits.inc()
+            nbytes = os.path.getsize(npy_path) + os.path.getsize(meta_path)
+            self._bytes_read.inc(nbytes)
+            if sp is not None:
+                sp["hit"] = True
+                sp["bytes"] = nbytes
+            return array, sidecar.get("meta", {})
+
+    def store_array(self, stage: str, key, array: np.ndarray,
+                    meta: Optional[Dict] = None) -> str:
+        """Persist ``array`` (plus caller ``meta``) under ``(stage, key)``.
+
+        Returns the digest. The payload lands before the sidecar and
+        both move into place with ``os.replace``, so a reader never
+        sees a sidecar whose payload is absent or half-written; a lost
+        race with another writer of the same digest is harmless (both
+        wrote identical content for identical keys).
+        """
+        key_digest = digest(stage, key)
+        npy_path, meta_path = self._paths(key_digest)
+        sidecar = {"schema": SCHEMA_VERSION, "stage": stage,
+                   "key": _canonical(key), "meta": dict(meta or {})}
+        with obs_trace.span("artifact.store", stage=stage,
+                            digest=key_digest[:12]) as sp:
+            suffix = f".tmp{os.getpid()}"
+            tmp_npy, tmp_meta = npy_path + suffix, meta_path + suffix
+            try:
+                with open(tmp_npy, "wb") as handle:
+                    np.save(handle, np.asarray(array), allow_pickle=False)
+                with open(tmp_meta, "w", encoding="utf-8") as handle:
+                    json.dump(sidecar, handle, sort_keys=True)
+                    handle.write("\n")
+                nbytes = (os.path.getsize(tmp_npy)
+                          + os.path.getsize(tmp_meta))
+                os.replace(tmp_npy, npy_path)
+                os.replace(tmp_meta, meta_path)
+            finally:
+                for tmp in (tmp_npy, tmp_meta):
+                    try:
+                        os.remove(tmp)
+                    except OSError:
+                        pass
+            self._bytes_written.inc(nbytes)
+            if sp is not None:
+                sp["bytes"] = nbytes
+        return key_digest

@@ -188,6 +188,9 @@ class _SimulationBase:
         #: Stage-1 telemetry, set by :meth:`_trace_and_filter`.
         self.stage1_seconds = 0.0
         self.stage1_reused = False
+        #: Where stage 1 came from: "computed", "memo" (in-process
+        #: reuse), or "disk" (cross-run artifact cache).
+        self.stage1_source = "computed"
 
     def _memsys(self) -> MemorySubsystem:
         ws = paper_ws = None
@@ -238,12 +241,39 @@ class _SimulationBase:
         return (self.workload.name, cfg.scale, cfg.nrefs, cfg.seed,
                 cfg.thp, cfg.levels, cfg.engine, cfg.scale_mmu_caches)
 
+    def _trace_key(self) -> list:
+        """Stage-0 artifact key: everything the address trace depends on.
+
+        The trace is a pure function of the workload layout (workload,
+        scale, THP, tree depth) and the generator inputs (nrefs, seed);
+        the TLB configuration does not enter, so stage-0 artifacts are
+        shared by runs that differ only in filter settings.
+        """
+        cfg = self.config
+        return [self.workload.name, cfg.scale, cfg.nrefs, cfg.seed,
+                cfg.thp, cfg.levels]
+
+    def _generate_trace(self, layout):
+        """The stage-0 address trace, via the artifact cache when attached."""
+        artifacts = self._stage1.artifacts if self._stage1 is not None \
+            else None
+        if artifacts is None:
+            return self.workload.generate_trace(layout, self.config.nrefs,
+                                                self.config.seed)
+        key = self._trace_key()
+        loaded = artifacts.load_array("trace", key)
+        if loaded is not None:
+            return loaded[0]
+        trace = self.workload.generate_trace(layout, self.config.nrefs,
+                                             self.config.seed)
+        artifacts.store_array("trace", key, trace, {})
+        return trace
+
     def _trace_and_filter(self, process, layout) -> TLBFilterResult:
         def build() -> TLBFilterResult:
             with obs_trace.span("stage1", workload=self.workload.name,
                                 thp=self.config.thp) as sp:
-                trace = self.workload.generate_trace(layout, self.config.nrefs,
-                                                     self.config.seed)
+                trace = self._generate_trace(layout)
                 accept = None
                 if self.config.scale_mmu_caches:
                     ws = self.workload.working_set_bytes()
@@ -266,10 +296,12 @@ class _SimulationBase:
             result = build()
             self.stage1_seconds = time.perf_counter() - start
             self.stage1_reused = False
+            self.stage1_source = "computed"
             return result
         result = self._stage1.fetch(self._stage1_key(), build)
         self.stage1_seconds = self._stage1.last_seconds
         self.stage1_reused = self._stage1.last_reused
+        self.stage1_source = self._stage1.last_source
         return result
 
 

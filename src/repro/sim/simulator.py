@@ -202,6 +202,11 @@ class WalkStats:
     #: Telemetry only — excluded from equality so parity tests can
     #: compare vec and scalar WalkStats directly.
     engine: str = field(default="scalar", compare=False)
+    #: Why ``engine="auto"`` fell back to the scalar loop (the
+    #: :func:`repro.sim.walk_vec.unsupported_reason` string), or None
+    #: when the batched path ran or scalar was requested explicitly.
+    #: Telemetry only — excluded from equality like ``engine``.
+    fallback_reason: Optional[str] = field(default=None, compare=False)
 
     @property
     def mean_latency(self) -> float:
@@ -259,9 +264,11 @@ def replay_walks(
     if engine not in ("scalar", "vec", "auto"):
         raise ValueError(f"unknown stage-2 engine {engine!r} "
                          "(expected 'scalar', 'vec' or 'auto')")
+    fallback_reason: Optional[str] = None
     if engine != "scalar":
         from repro.sim import walk_vec
-        if walk_vec.supports(walker):
+        fallback_reason = walk_vec.unsupported_reason(walker)
+        if fallback_reason is None:
             return walk_vec.replay_walks_vec(
                 walker, miss_vas,
                 warmup_fraction=warmup_fraction,
@@ -269,10 +276,10 @@ def replay_walks(
             )
         if engine == "vec":
             raise ValueError(
-                f"walker {walker.name!r} has no batched replay path "
-                "(use engine='auto' or 'scalar')")
+                f"walker {walker.name!r} has no batched replay path: "
+                f"{fallback_reason} (use engine='auto' or 'scalar')")
     vas = np.asarray(miss_vas, dtype=np.int64)
-    stats = WalkStats(design=walker.name)
+    stats = WalkStats(design=walker.name, fallback_reason=fallback_reason)
     total = len(vas)
     warmup = int(total * warmup_fraction)
     translate = walker.translate
@@ -329,17 +336,28 @@ class Stage1Cache:
     trace is generated and TLB-filtered once per (workload, config,
     THP) group instead of once per environment.
 
+    With an :class:`~repro.sim.artifacts.ArtifactCache` attached the
+    memo extends across processes and runs: a key absent from the
+    in-memory dict is looked up on disk (stage ``"stage1"``, keyed by
+    the same signature) before being recomputed, and fresh computations
+    are persisted for the next run. The lookup order is memory, disk,
+    build.
+
     ``fetch`` records telemetry: ``last_seconds`` is the stage-1 wall
     time of the entry served (the original compute time when reused)
-    and ``last_reused`` whether it came from the memo.
+    and ``last_reused`` whether it avoided a recompute; ``last_source``
+    distinguishes ``"memo"`` / ``"disk"`` / ``"computed"``.
     """
 
-    def __init__(self):
+    def __init__(self, artifacts=None):
         self._entries: Dict[Tuple, Tuple[TLBFilterResult, float]] = {}
+        #: Optional :class:`~repro.sim.artifacts.ArtifactCache`.
+        self.artifacts = artifacts
         self._computed = metrics.counter("stage1.computed")
         self._reused = metrics.counter("stage1.reused")
         self.last_seconds = 0.0
         self.last_reused = False
+        self.last_source = "none"
 
     @property
     def computed(self) -> int:
@@ -352,19 +370,38 @@ class Stage1Cache:
     def fetch(self, key: Tuple,
               build: Callable[[], TLBFilterResult]) -> TLBFilterResult:
         entry = self._entries.get(key)
-        if entry is None:
-            start = time.perf_counter()
-            result = build()
-            seconds = time.perf_counter() - start
-            self._entries[key] = (result, seconds)
-            self._computed.inc()
-            self.last_seconds = seconds
-            self.last_reused = False
-            return result
-        self._reused.inc()
-        self.last_seconds = entry[1]
-        self.last_reused = True
-        return entry[0]
+        if entry is not None:
+            self._reused.inc()
+            self.last_seconds = entry[1]
+            self.last_reused = True
+            self.last_source = "memo"
+            return entry[0]
+        if self.artifacts is not None:
+            loaded = self.artifacts.load_array("stage1", list(key))
+            if loaded is not None:
+                miss_vas, meta = loaded
+                result = TLBFilterResult(miss_vas,
+                                         int(meta.get("total_refs", 0)))
+                seconds = float(meta.get("seconds", 0.0))
+                self._entries[key] = (result, seconds)
+                self._reused.inc()
+                self.last_seconds = seconds
+                self.last_reused = True
+                self.last_source = "disk"
+                return result
+        start = time.perf_counter()
+        result = build()
+        seconds = time.perf_counter() - start
+        self._entries[key] = (result, seconds)
+        self._computed.inc()
+        self.last_seconds = seconds
+        self.last_reused = False
+        self.last_source = "computed"
+        if self.artifacts is not None:
+            self.artifacts.store_array(
+                "stage1", list(key), result.miss_vas,
+                {"total_refs": result.total_refs, "seconds": seconds})
+        return result
 
 
 def geomean(values: Sequence[float]) -> float:

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import metrics
 from repro.obs import trace as obs_trace
+from repro.sim.artifacts import ArtifactCache
 from repro.sim.machine import ENVIRONMENTS, SimConfig
 from repro.sim.simulator import Stage1Cache
 
@@ -41,10 +42,10 @@ ALL_WORKLOADS = ["Redis", "Memcached", "GUPS", "BTree", "Canneal",
                  "XSBench", "Graph500"]
 
 #: A group task — one (workload, THP) pair across every swept
-#: environment — as picklable primitives. A sixth element (trace JSONL
-#: path for the worker's span stream) is optional; 5-tuples from older
-#: callers keep working.
-GroupTask = Tuple[Tuple[str, ...], str, bool, Optional[Tuple[str, ...]], Dict]
+#: environment — as picklable primitives: (envs, workload, thp,
+#: designs, config kwargs, trace JSONL path, artifact-cache dir).
+GroupTask = Tuple[Tuple[str, ...], str, bool, Optional[Tuple[str, ...]],
+                  Dict, Optional[str], Optional[str]]
 
 
 def build_sim(env: str, workload: str, config: SimConfig,
@@ -85,18 +86,21 @@ def run_group(task: GroupTask) -> List[Dict]:
 
     The group shares one :class:`Stage1Cache`, so the trace and TLB-miss
     stream are computed by the first environment and reused by the rest
-    (each cell's ``stage1_reused`` telemetry records which). Returns one
+    (each cell's ``stage1_reused``/``stage1_source`` telemetry records
+    which); with an artifact directory in the task, the cache also
+    persists stage 0/1 to disk and reuses results across runs. Returns one
     telemetry dict per grid cell; a design that raises yields an error
     cell while the group's other designs still complete (a failed
     machine build fails that environment's cells). A requested design no
     swept environment provides yields an error cell instead of being
     silently dropped. Module-level so the process pool can pickle it.
     """
-    envs, workload, thp, designs, config_kwargs = task[:5]
-    trace_path = task[5] if len(task) > 5 else None
+    envs, workload, thp, designs, config_kwargs, trace_path, \
+        artifact_dir = task
     if trace_path:
         obs_trace.enable(trace_path)
-    stage1 = Stage1Cache()
+    artifacts = ArtifactCache(artifact_dir) if artifact_dir else None
+    stage1 = Stage1Cache(artifacts=artifacts)
     cells: List[Dict] = []
     # Design availability is a static property of the environment
     # classes, so an unknown design is detected even when a machine
@@ -161,7 +165,9 @@ def _run_env_cells(sim, env: str, workload: str, thp: bool,
             "tlb_miss_rate": sim.tlb.miss_rate,
             "stage1_seconds": sim.stage1_seconds,
             "stage1_reused": sim.stage1_reused,
+            "stage1_source": sim.stage1_source,
             "walk_engine": stats.engine,
+            "stage2_fallback_reason": stats.fallback_reason,
             "replay_seconds": replay_seconds,
             "walks_per_second": (stats.walks / replay_seconds
                                  if replay_seconds > 0 else 0.0),
@@ -184,19 +190,22 @@ def grid_tasks(envs: Sequence[str],
                designs: Optional[Sequence[str]] = None,
                thp_modes: Sequence[bool] = (False,),
                trace_path: Optional[str] = None,
+               artifact_dir: Optional[str] = None,
                **config_kwargs) -> List[GroupTask]:
     """Enumerate the group tasks of a sweep.
 
     One task per (workload, THP) pair covering every environment, so a
     single worker computes stage 1 once and replays it everywhere. With
     ``trace_path`` set, each task carries the span-stream destination so
-    pool workers append to the shared JSONL file.
+    pool workers append to the shared JSONL file; with ``artifact_dir``
+    set, each worker's stage-0/1 results persist to (and load from) the
+    shared cross-run artifact cache.
     """
     names = list(workloads or ALL_WORKLOADS)
     wanted = tuple(designs) if designs else None
     env_tuple = tuple(envs)
     return [(env_tuple, workload, thp, wanted, dict(config_kwargs),
-             trace_path)
+             trace_path, artifact_dir)
             for workload in names for thp in thp_modes]
 
 
@@ -208,6 +217,7 @@ def run_sweep(envs: Sequence[str] = ("native",),
               out_path: Optional[str] = None,
               progress: Optional[Callable[[str], None]] = None,
               trace_path: Optional[str] = None,
+              artifact_dir: Optional[str] = None,
               **config_kwargs) -> Dict:
     """Run the grid, fanning groups across ``workers`` processes.
 
@@ -217,9 +227,15 @@ def run_sweep(envs: Sequence[str] = ("native",),
     unknown environment or a design no swept environment provides (a
     design valid in only *some* swept environments is fine — it just
     runs where available). With ``trace_path`` set, every group's span
-    stream appends to that JSONL file (:mod:`repro.obs.trace`). Returns
-    the JSON-ready document ``{"meta": ..., "cells": [...]}`` and writes
-    it to ``out_path`` when given.
+    stream appends to that JSONL file (:mod:`repro.obs.trace`). With
+    ``artifact_dir`` set, workers share a cross-run
+    :class:`~repro.sim.artifacts.ArtifactCache` there: traces and
+    TLB-miss streams computed by any previous run (or concurrent
+    worker) are reused instead of recomputed, and each cell's
+    ``stage1_source`` telemetry says whether its stage 1 came from
+    ``"disk"``. Returns the JSON-ready document
+    ``{"meta": ..., "cells": [...]}`` and writes it to ``out_path``
+    when given.
     """
     for env in envs:
         if env not in ENVIRONMENTS:
@@ -233,7 +249,8 @@ def run_sweep(envs: Sequence[str] = ("native",),
             raise KeyError(f"unknown design {design!r}; swept environments "
                            f"provide {sorted(known_designs)}")
     tasks = grid_tasks(envs, workloads, designs, thp_modes,
-                       trace_path=trace_path, **config_kwargs)
+                       trace_path=trace_path, artifact_dir=artifact_dir,
+                       **config_kwargs)
     if workers is None:
         workers = os.cpu_count() or 1
     notify = progress or (lambda message: None)
@@ -311,6 +328,7 @@ def run_sweep(envs: Sequence[str] = ("native",),
             "started_at": time.strftime("%Y-%m-%dT%H:%M:%S%z",
                                         time.localtime(started)),
             "trace": trace_path,
+            "artifact_cache": artifact_dir,
             "metrics": {
                 "sweep.groups": groups_done.value,
                 "sweep.cells": cells_done.value,

@@ -24,11 +24,24 @@ replacement, following the :mod:`repro.sim.tlb_vec` pattern:
    post-replay cache/PWC state are **bit-identical** to the oracle.
 
 Supported walkers (via :meth:`~repro.translation.base.Walker.batch_spec`):
-radix native/shadow, radix nested, and every DMT/pvDMT variant
-(register hit -> direct TEA fetch groups; register miss -> the radix
-fallback plan, with the attempt's cache traffic applied uncounted,
-exactly like the scalar ``_run``). ECPT/FPT/Agile/ASAP return no spec
-and route to the scalar loop; ``tests/test_walk_vec.py`` pins parity.
+radix native/shadow, radix nested, every DMT/pvDMT variant (register
+hit -> direct TEA fetch groups; register miss -> the radix fallback
+plan, with the attempt's cache traffic applied uncounted, exactly like
+the scalar ``_run``), and the four prior designs — ECPT (hashed-bucket
+probing with the live Cuckoo Walk Cache replayed in scalar order), FPT
+(fully static flattened two-level plans), Agile Paging (shadow chain +
+nested data leaf, split per walk at the guest-leaf boundary), and ASAP
+(static prefetch address plans wrapped around the inner radix runner,
+with the completion-max cost model). ECPT and FPT plans compile to a
+small per-VPN op program (fetch / background probe / parallel group /
+CWC-predicted probe step) replayed by one interpreter that reproduces
+``WalkRecorder`` group episodes and the scalar step collapsing
+bit-for-bit; ``tests/test_walk_vec.py`` pins parity for every design.
+
+:func:`unsupported_reason` names why a walker cannot batch (sanitized
+run, missing spec, non-standard hierarchy); ``engine="auto"`` callers
+surface it as ``WalkStats.fallback_reason`` instead of silently
+reporting a scalar replay.
 
 The planning pass preserves lazy first-touch side effects (EPT
 backfill, shadow-table extension) by visiting unique VPNs in
@@ -52,6 +65,7 @@ from repro.arch import (
     PTE_SIZE,
     TABLE_INDEX_BITS,
     PageSize,
+    level_index,
 )
 from repro.kernel.page_table import PTE_HUGE, PTE_PRESENT, pte_frame
 from repro.translation.base import BatchSpec, MemorySubsystem, Walker
@@ -74,37 +88,93 @@ _NEXT = object()    # interior PTE: payload is the next table's address
 def supports(walker: Walker) -> bool:
     """True when ``walker`` has a batched path bit-identical to scalar.
 
-    False routes the replay to the scalar loop: designs without a
-    :meth:`~repro.translation.base.Walker.batch_spec`, sanitized runs
-    (the sanitizer hooks the scalar structures), and non-standard cache
-    hierarchies (the inlined access path is unrolled for the 3-level
-    PTE-side hierarchy of Table 3).
+    False routes the replay to the scalar loop; see
+    :func:`unsupported_reason` for the specific cause (sanitized run,
+    missing spec, non-standard hierarchy, incomplete spec).
+    """
+    return unsupported_reason(walker) is None
+
+
+def unsupported_reason(walker: Walker) -> Optional[str]:
+    """Why ``walker`` cannot take the batched path, or None if it can.
+
+    The reasons are the genuine fallback conditions left after every
+    design gained a planner: sanitized runs (the sanitizer hooks the
+    scalar structures), walkers exposing no
+    :meth:`~repro.translation.base.Walker.batch_spec`, non-standard
+    cache hierarchies (the inlined access path is unrolled for the
+    3-level PTE-side hierarchy of Table 3), and specs missing the
+    structures their planner needs. ``engine="auto"`` callers record
+    this string as ``WalkStats.fallback_reason``.
     """
     if sanitizer.active():
-        return False
-    spec = walker.batch_spec()
-    return _spec_supported(spec, walker.memsys)
+        return "sanitizer active: batched replay bypasses its hooks"
+    return _spec_reason(walker.batch_spec(), walker.memsys)
 
 
 def _spec_supported(spec: Optional[BatchSpec],
                     memsys: MemorySubsystem) -> bool:
+    return _spec_reason(spec, memsys) is None
+
+
+def _spec_reason(spec: Optional[BatchSpec],
+                 memsys: MemorySubsystem) -> Optional[str]:
     if spec is None:
-        return False
+        return "walker exposes no batch spec"
     if len(memsys.caches.levels) != 3:
-        return False
-    if spec.kind == "radix-native":
-        return spec.page_table is not None
-    if spec.kind == "radix-nested":
-        return spec.guest_pt is not None and spec.vm is not None
-    if spec.kind == "dmt":
+        return (f"{len(memsys.caches.levels)}-level PTE cache hierarchy "
+                "(batched access path is unrolled for 3 levels)")
+    kind = spec.kind
+    if kind == "radix-native":
+        return None if spec.page_table is not None \
+            else "radix-native spec lacks a page table"
+    if kind == "radix-nested":
+        if spec.guest_pt is None or spec.vm is None:
+            return "radix-nested spec lacks a guest page table or VM"
+        return None
+    if kind == "dmt":
         if spec.attempt is None or spec.fetcher is None \
                 or spec.fallback is None:
-            return False
+            return "dmt spec lacks an attempt, fetcher, or fallback walker"
         fallback_spec = spec.fallback.batch_spec()
-        return (fallback_spec is not None
-                and fallback_spec.kind in ("radix-native", "radix-nested")
-                and _spec_supported(fallback_spec, memsys))
-    return False
+        if fallback_spec is None or fallback_spec.kind not in (
+                "radix-native", "radix-nested"):
+            return "dmt fallback walker has no batched radix plan"
+        reason = _spec_reason(fallback_spec, memsys)
+        return f"dmt fallback: {reason}" if reason else None
+    if kind == "ecpt-native":
+        return None if spec.ecpt is not None \
+            else "ecpt-native spec lacks the cuckoo tables"
+    if kind == "ecpt-nested":
+        if spec.ecpt is None or spec.host_ecpt is None or spec.vm is None:
+            return "ecpt-nested spec lacks guest/host cuckoo tables or VM"
+        return None
+    if kind == "fpt-native":
+        return None if spec.fpt is not None \
+            else "fpt-native spec lacks the flattened table"
+    if kind == "fpt-nested":
+        if spec.fpt is None or spec.host_fpt is None or spec.vm is None:
+            return "fpt-nested spec lacks guest/host flattened tables or VM"
+        return None
+    if kind == "agile":
+        if spec.guest_pt is None or spec.spt is None or spec.vm is None:
+            return "agile spec lacks the guest table, shadow table, or VM"
+        return None
+    if kind in ("asap-native", "asap-nested"):
+        if spec.inner is None:
+            return f"{kind} spec lacks the inner radix walker"
+        if kind == "asap-native" and spec.page_table is None:
+            return "asap-native spec lacks a page table"
+        if kind == "asap-nested" and (spec.guest_pt is None
+                                      or spec.vm is None):
+            return "asap-nested spec lacks a guest page table or VM"
+        inner_spec = spec.inner.batch_spec()
+        expected = "radix-native" if kind == "asap-native" else "radix-nested"
+        if inner_spec is None or inner_spec.kind != expected:
+            return f"{kind} inner walker has no {expected} plan"
+        reason = _spec_reason(inner_spec, memsys)
+        return f"{kind} inner walk: {reason}" if reason else None
+    return f"unknown batch-spec kind {kind!r}"
 
 
 # --------------------------------------------------------------------- #
@@ -190,6 +260,50 @@ def _make_access(caches):
         caches.memory_accesses += counters[6]
 
     return access, finalize, ((v1, v2, v3), mem_latency, counters)
+
+
+def _make_probe(access_ctx) -> Callable[[int], None]:
+    """Inlined ``CacheHierarchy.probe``: the no-allocate background access.
+
+    Losing parallel probes (ECPT ways, FPT multi-size slots) consult
+    each level in order — LRU-touching and counting hits/misses exactly
+    like ``SetAssociativeCache.lookup`` — but install nothing on a full
+    miss. Shares the counters (and finalizer) of the ``access`` closure
+    built by :func:`_make_access` over the same ``access_ctx``.
+    """
+    (v1, v2, v3), _mem_latency, counters = access_ctx
+    s1, ls1, ns1 = v1.sets, v1.line_shift, v1.num_sets
+    s2, ls2, ns2 = v2.sets, v2.line_shift, v2.num_sets
+    s3, ls3, ns3 = v3.sets, v3.line_shift, v3.num_sets
+
+    def probe(addr: int) -> None:
+        line1 = addr >> ls1
+        ways1 = s1.get(line1 % ns1)
+        if ways1 is not None and line1 in ways1:
+            del ways1[line1]
+            ways1[line1] = None
+            counters[0] += 1
+            return
+        counters[3] += 1
+        line2 = addr >> ls2
+        ways2 = s2.get(line2 % ns2)
+        if ways2 is not None and line2 in ways2:
+            del ways2[line2]
+            ways2[line2] = None
+            counters[1] += 1
+            return
+        counters[4] += 1
+        line3 = addr >> ls3
+        ways3 = s3.get(line3 % ns3)
+        if ways3 is not None and line3 in ways3:
+            del ways3[line3]
+            ways3[line3] = None
+            counters[2] += 1
+            return
+        counters[5] += 1
+        counters[6] += 1
+
+    return probe
 
 
 def _make_pwc_probe(view) -> Tuple[Callable[[int], int], Callable[[], None]]:
@@ -356,7 +470,8 @@ def _build_radix_native_columns(page_table, top_level: int, n_offsets: int,
 
 
 def _build_radix_nested_plans(guest_pt, vm, top_level: int, n_offsets: int,
-                              uniq_vpns: List[int], collect: bool):
+                              uniq_vpns: List[int], collect: bool,
+                              prefetcher=None, prefetch_out=None):
     """Per-VPN 2D walk chains: guest dimension + memoized host chains.
 
     A plan is ``(entries, data)``. Each guest-level entry is
@@ -370,6 +485,12 @@ def _build_radix_nested_plans(guest_pt, vm, top_level: int, n_offsets: int,
     ``vm.gpa_to_hpa`` before ``ept.walk_steps`` in first-touch order,
     which reproduces the scalar loop's lazy EPT backfill / shadow-table
     extension sequence exactly (allocation order determines addresses).
+
+    ``prefetcher`` (ASAP) is called per VPN *before* its chain is
+    planned, storing its address tuple in ``prefetch_out[vpn]``: the
+    scalar ASAP walker issues the prefetch — with its own lazy
+    ``gpa_to_hpa`` first-touches — before each walk's resolves, so the
+    planning pass must interleave the two in the same per-VPN order.
     """
     gread = guest_pt.memory.read_word
     root_gpa = guest_pt.root_frame << PAGE_SHIFT
@@ -391,6 +512,8 @@ def _build_radix_nested_plans(guest_pt, vm, top_level: int, n_offsets: int,
     nodes = {}
     plans = {}
     for vpn in uniq_vpns:
+        if prefetcher is not None:
+            prefetch_out[vpn] = prefetcher(vpn << PAGE_SHIFT)
         entries = []
         data = None
         table_gpa = root_gpa
@@ -501,6 +624,318 @@ def _build_dmt_plans(spec: BatchSpec, uniq_vpns: List[int], collect: bool):
     return plans, fallback_vpns
 
 
+def _plan_ecpt_probe_step(ecpt, va: int, tag: str, collect: bool):
+    """One ECPT probe step compiled to a CWC-probe op (opcode 4).
+
+    The static part — which (size, way) hits, the candidate addresses,
+    and which candidate shares the hitting line — is resolved at plan
+    time with pure reads (``lookup_way``/``candidate_probes`` touch only
+    ``PhysicalMemory``). The Cuckoo Walk Cache prediction is *dynamic*
+    (it depends on replay history), so the op carries the CWC key and
+    the true way and the interpreter replays ``CuckooWalkCache.get`` /
+    ``put`` against the live entry dict at run time.
+    """
+    hit_addr = None
+    hit_size = None
+    hit_way = None
+    for size, table in ecpt.tables.items():
+        found = table.lookup_way(va >> int(size))
+        if found is not None:
+            hit_addr, _, hit_way = found
+            hit_size = size
+            break
+    if hit_addr is not None:
+        has_hit = True
+        ckey = (int(hit_size), (va >> int(hit_size)) >> 3)
+        hit_tag = f"{tag}-{hit_size.name}" if collect else None
+        hit_line = hit_addr >> 6
+    else:
+        has_hit = False
+        ckey = hit_tag = None
+        hit_line = None
+    cands = []
+    matched = False
+    for addr, probe_size, _vpn in ecpt.candidate_probes(va):
+        crit = (hit_line is not None and addr >> 6 == hit_line
+                and not matched)
+        if crit:
+            matched = True
+        cands.append((addr,
+                      f"{tag}-{probe_size.name}" if collect else None,
+                      crit))
+    return (4, has_hit, ckey, hit_way, hit_addr, hit_tag, tuple(cands))
+
+
+def _build_ecpt_native_plans(spec: BatchSpec, uniq_vpns: List[int],
+                             collect: bool):
+    """Native ECPT: hash charge + one probe step per walk."""
+    from repro.translation.ecpt import HASH_CYCLES
+
+    ecpt = spec.ecpt
+    return {vpn: (HASH_CYCLES,
+                  (_plan_ecpt_probe_step(ecpt, vpn << PAGE_SHIFT, "ecpt",
+                                         collect),))
+            for vpn in uniq_vpns}
+
+
+def _build_ecpt_nested_plans(spec: BatchSpec, uniq_vpns: List[int],
+                             collect: bool):
+    """Nested ECPT: the three sequential steps compiled to one op list.
+
+    Step 1 host-resolves every guest candidate (a full probe step when
+    the candidate shares the guest hit's line, background probes
+    otherwise), step 2 fetches the resolved guest candidates, step 3
+    host-resolves the data page after a fresh hash charge — all
+    determined statically except the host CWC predictions, which ride
+    in the opcode-4 entries. Only the *host* CWC is consulted (the
+    scalar walker never touches the guest one).
+    """
+    from repro.translation.ecpt import HASH_CYCLES
+
+    guest = spec.ecpt
+    host = spec.host_ecpt
+    plans = {}
+    for vpn in uniq_vpns:
+        gva = vpn << PAGE_SHIFT
+        ops = []
+        guest_hit = guest.translate(gva)
+        g_hit_addr = None
+        if guest_hit is not None:
+            for size, table in guest.tables.items():
+                found = table.lookup(gva >> int(size))
+                if found is not None:
+                    g_hit_addr = found[0]
+                    break
+        resolved = []
+        for g_addr, _g_size, _g_vpn in guest.candidate_probes(gva):
+            critical = g_hit_addr is not None \
+                and (g_addr >> 6) == (g_hit_addr >> 6)
+            if critical:
+                ops.append(_plan_ecpt_probe_step(host, g_addr, "h-ecpt",
+                                                 collect))
+            else:
+                for addr, _size, _hvpn in host.candidate_probes(g_addr):
+                    ops.append((2, addr))
+            h = host.translate(g_addr)
+            if h is not None:
+                resolved.append((g_addr, h[0]))
+        if guest_hit is None:
+            plans[vpn] = (2 * HASH_CYCLES, tuple(ops))
+            continue
+        gpa, _size = guest_hit
+        for g_addr, h_addr in resolved:
+            if g_hit_addr is not None \
+                    and (g_addr >> 6) == (g_hit_addr >> 6):
+                ops.append((1, h_addr, "g-ecpt" if collect else None))
+            else:
+                ops.append((2, h_addr))
+        ops.append((0, HASH_CYCLES))
+        ops.append(_plan_ecpt_probe_step(host, gpa, "hd-ecpt", collect))
+        plans[vpn] = (2 * HASH_CYCLES, tuple(ops))
+    return plans
+
+
+def _build_fpt_native_plans(spec: BatchSpec, uniq_vpns: List[int],
+                            collect: bool):
+    """Native FPT: fully static two-reference plans (root + leaf slots).
+
+    The winning leaf slot is identified at plan time exactly like the
+    scalar ``_leaf_probe`` (last matching probe wins); the winner — or,
+    with no winner, every slot — becomes a grouped fetch, the losers
+    background probes.
+    """
+    fpt = spec.fpt
+    read = fpt.memory.read_word
+    probe_huge = spec.probe_huge
+    plans = {}
+    for vpn in uniq_vpns:
+        va = vpn << PAGE_SHIFT
+        ops = [(1, fpt.root_entry_addr(va), "F-root" if collect else None)]
+        leaf = fpt._leaves.get(fpt.upper_index(va))
+        if leaf is not None:
+            probes = [(fpt.leaf_entry_addr(leaf, va), PageSize.SIZE_4K)]
+            if probe_huge:
+                huge = fpt._huge_for(va, create=False)
+                if huge is not None:
+                    probes.append((fpt.huge_entry_addr(huge, va),
+                                   PageSize.SIZE_2M))
+            hit_addr = None
+            for addr, size in probes:
+                pte = read(addr)
+                if pte & PTE_PRESENT and \
+                        bool(pte & PTE_HUGE) == (size != PageSize.SIZE_4K):
+                    hit_addr = addr
+            for addr, size in probes:
+                if hit_addr is None or addr == hit_addr:
+                    ops.append((3, 1, addr,
+                                f"F-leaf-{size.name}" if collect else None))
+                else:
+                    ops.append((2, addr))
+        plans[vpn] = (0, tuple(ops))
+    return plans
+
+
+def _build_fpt_nested_plans(spec: BatchSpec, uniq_vpns: List[int],
+                            collect: bool):
+    """Virtualized FPT: eight-reference plans, both dimensions flattened.
+
+    Each host resolution gets a fresh per-walk group id (2, 3, ...);
+    group 1 is reserved for the guest-leaf fetches, mirroring the scalar
+    walker's distinct-group bookkeeping (absolute ids differ from the
+    scalar ``_group_seq`` values, but group ids only need to be distinct
+    within a walk — they never leave the recorder).
+    """
+    guest = spec.fpt
+    host = spec.host_fpt
+    probe_huge = spec.probe_huge
+    gread = guest.memory.read_word
+    hread = host.memory.read_word
+
+    def plan_host_resolve(gpa, dim, ops, gid_box):
+        ops.append((1, host.root_entry_addr(gpa),
+                    f"h{dim}-root" if collect else None))
+        leaf = host._leaves.get(host.upper_index(gpa))
+        if leaf is None:
+            return None
+        gid_box[0] += 1
+        gid = gid_box[0]
+        probes = [(host.leaf_entry_addr(leaf, gpa), PageSize.SIZE_4K)]
+        if probe_huge:
+            huge = host._huge_for(gpa, create=False)
+            if huge is not None:
+                probes.append((host.huge_entry_addr(huge, gpa),
+                               PageSize.SIZE_2M))
+        hpa = None
+        hit_addr = None
+        for addr, size in probes:
+            pte = hread(addr)
+            if pte & PTE_PRESENT and \
+                    bool(pte & PTE_HUGE) == (size != PageSize.SIZE_4K):
+                hpa = (pte_frame(pte) << PAGE_SHIFT) + (gpa & (size.bytes - 1))
+                hit_addr = addr
+        for addr, _size in probes:
+            if hit_addr is None or addr == hit_addr:
+                ops.append((3, gid, addr,
+                            f"h{dim}-leaf" if collect else None))
+            else:
+                ops.append((2, addr))
+        return hpa
+
+    plans = {}
+    for vpn in uniq_vpns:
+        gva = vpn << PAGE_SHIFT
+        ops = []
+        gid_box = [1]
+        root_hpa = plan_host_resolve(guest.root_entry_addr(gva), "g1",
+                                     ops, gid_box)
+        if root_hpa is None:
+            plans[vpn] = (0, tuple(ops))
+            continue
+        ops.append((1, root_hpa, "gF-root" if collect else None))
+        leaf = guest._leaves.get(guest.upper_index(gva))
+        if leaf is None:
+            plans[vpn] = (0, tuple(ops))
+            continue
+        candidates = [(PageSize.SIZE_4K, guest.leaf_entry_addr(leaf, gva))]
+        if probe_huge:
+            huge = guest._huge_for(gva, create=False)
+            if huge is not None:
+                candidates.append((PageSize.SIZE_2M,
+                                   guest.huge_entry_addr(huge, gva)))
+        slots = []
+        for probe_size, entry_gpa in candidates:
+            pte = gread(entry_gpa)
+            valid = pte & PTE_PRESENT and \
+                bool(pte & PTE_HUGE) == (probe_size != PageSize.SIZE_4K)
+            slots.append((probe_size, entry_gpa, pte, valid))
+        any_valid = any(valid for *_, valid in slots)
+        gpa = None
+        for probe_size, entry_gpa, pte, valid in slots:
+            if any_valid and not valid:
+                continue
+            entry_hpa = plan_host_resolve(entry_gpa, "g2", ops, gid_box)
+            if entry_hpa is None:
+                continue
+            ops.append((3, 1, entry_hpa,
+                        f"gF-leaf-{probe_size.name}" if collect else None))
+            if valid:
+                gpa = (pte_frame(pte) << PAGE_SHIFT) \
+                    + (gva & (probe_size.bytes - 1))
+        if gpa is None:
+            plans[vpn] = (0, tuple(ops))
+            continue
+        plan_host_resolve(gpa, "d", ops, gid_box)
+        plans[vpn] = (0, tuple(ops))
+    return plans
+
+
+def _build_agile_plans(spec: BatchSpec, top_level: int, n_offsets: int,
+                       uniq_vpns: List[int], collect: bool):
+    """Agile Paging plans: shadow chain + guest leaf + data resolution.
+
+    ``plans[vpn] = (chain, leaf, data)``. The chain rows replay phase 1
+    including the scalar quirk that a dead or huge shadow PTE does *not*
+    stop the descent (the level decrements while the table frame stays
+    put). ``leaf`` is the guest leaf PTE's host address (``None`` when
+    the guest mapping is absent — the walk ends after the chain) and
+    ``data`` the memoized host resolution of the data page. Per-VPN
+    plan order (leaf ``gpa_to_hpa`` before the data resolve) preserves
+    the scalar walker's lazy first-touch sequence.
+    """
+    guest_pt = spec.guest_pt
+    spt = spec.spt
+    vm = spec.vm
+    sread = spt.memory.read_word
+    gpa_to_hpa = vm.gpa_to_hpa
+    ept = vm.ept
+    chain_top = min(top_level, guest_pt.levels)
+    host = {}
+
+    def resolve(gfn: int):
+        entry = host.get(gfn)
+        if entry is None:
+            hpa = gpa_to_hpa(gfn << PAGE_SHIFT)   # lazy backing first-touch
+            steps = ept.walk_steps(gfn << PAGE_SHIFT)
+            entry = (hpa >> PAGE_SHIFT,
+                     tuple(step.pte_addr for step in steps),
+                     tuple(f"hdL{step.level}" for step in steps)
+                     if collect else None)
+            host[gfn] = entry
+        return entry
+
+    plans = {}
+    for vpn in uniq_vpns:
+        gva = vpn << PAGE_SHIFT
+        gsteps = guest_pt.walk_steps(gva)
+        leaf_step = gsteps[-1]
+        leaf_level = leaf_step.level
+        chain = []
+        table_frame = spt.root_frame
+        for level in range(chain_top, leaf_level, -1):
+            addr = (table_frame << PAGE_SHIFT) + level_index(gva, level) * 8
+            pte = sread(addr)
+            fill = None
+            if pte & PTE_PRESENT and not pte & PTE_HUGE:
+                table_frame = pte_frame(pte)
+                offset = top_level - level
+                if 0 <= offset < n_offsets:
+                    fill = (offset,
+                            vpn >> (TABLE_INDEX_BITS * (level - 1)),
+                            table_frame << PAGE_SHIFT)
+            chain.append((addr, f"sL{level}" if collect else None, fill))
+        if not leaf_step.pte_value & PTE_PRESENT:
+            plans[vpn] = (tuple(chain), None, None)
+            continue
+        leaf_addr = gpa_to_hpa(leaf_step.pte_addr)
+        leaf = (leaf_addr, f"gL{leaf_level}" if collect else None)
+        data_gpa = (pte_frame(leaf_step.pte_value) << PAGE_SHIFT) \
+            + (gva & (_LEAF_BYTES[leaf_level] - 1))
+        dgfn = data_gpa >> PAGE_SHIFT
+        dhfn, dsteps, dtags = resolve(dgfn)
+        plans[vpn] = (tuple(chain), leaf, (dgfn, dhfn, dsteps, dtags))
+    return plans
+
+
 # --------------------------------------------------------------------- #
 # Runners
 # --------------------------------------------------------------------- #
@@ -509,7 +944,8 @@ def _make_radix_runner(spec: BatchSpec, memsys: MemorySubsystem,
                        uniq_vpns: List[int], access: Callable[[int], int],
                        access_ctx, collect: bool,
                        finalizers: List[Callable[[], None]],
-                       credit_walkers: Tuple = ()):
+                       credit_walkers: Tuple = (),
+                       prefetcher=None, prefetch_out=None):
     """Build plans + the per-miss radix walk function for ``spec``.
 
     Returns ``(run, run_many)``. ``run(vpn, steps)`` executes one walk:
@@ -862,7 +1298,8 @@ def _make_radix_runner(spec: BatchSpec, memsys: MemorySubsystem,
     else:  # radix-nested
         plans = _build_radix_nested_plans(
             spec.guest_pt, spec.vm, view.top_level, len(tables),
-            uniq_vpns, collect)
+            uniq_vpns, collect, prefetcher=prefetcher,
+            prefetch_out=prefetch_out)
         nview = memsys.nested_pwc.batch_view()
         ntable = nview.table
         ncapacity = nview.capacity
@@ -1025,6 +1462,374 @@ def _make_dmt_runner(spec: BatchSpec, memsys: MemorySubsystem,
     return run
 
 
+def _make_ops_runner(plans, access: Callable[[int], int],
+                     probe: Callable[[int], None], cwc,
+                     finalizers: List[Callable[[], None]]):
+    """The op-program interpreter shared by the ECPT and FPT runners.
+
+    ``plans[vpn] = (base_cycles, ops)``. Opcodes (first element):
+
+    - ``(0, c)``     — ``WalkRecorder.charge``: close the open group,
+      add ``c`` cycles (mid-walk hash charges; the *leading* charge is
+      folded into ``base_cycles`` — safe only there, because a charge
+      closes an open group episode).
+    - ``(1, addr, tag)`` — sequential ``fetch``.
+    - ``(2, addr)``  — background ``CacheHierarchy.probe``.
+    - ``(3, gid, addr, tag)`` — ``fetch_grouped``: parallel group
+      member, the episode costs its slowest member.
+    - ``(4, ...)``   — an ECPT probe step (see
+      :func:`_plan_ecpt_probe_step`): replay the CWC prediction against
+      the live entry dict, then either the single predicted fetch, the
+      mispredict fan-out (critical fetch + losing probes, plus the CWC
+      update), or the full-miss fan-out whose completion is a grouped
+      fetch of the first candidate (group id 0 — the scalar walker's
+      ``id(rec) & 0xFFFF`` symbol, constant within a walk).
+
+    Group episodes replicate ``WalkRecorder`` exactly: a grouped fetch
+    with a new gid closes the previous episode (adding its max), fetches
+    and charges close any open episode, probes touch nothing, and the
+    walk's final episode closes at op-list end. Step collection mirrors
+    the scalar collapsing — one entry per *first* ref of each gid per
+    walk, sequential fetches always recorded.
+    """
+    if cwc is not None:
+        centries = cwc._entries
+        ccap = cwc.capacity
+        ccounters = [0, 0]  # hits, misses
+
+        def cwc_fin() -> None:
+            cwc.hits += ccounters[0]
+            cwc.misses += ccounters[1]
+
+        finalizers.append(cwc_fin)
+    else:
+        centries = None
+        ccap = 0
+        ccounters = None
+
+    def run(vpn: int, steps) -> Tuple[int, int, bool]:
+        base, ops = plans[vpn]
+        cycles = base
+        nrefs = 0
+        open_gid = -1
+        gmax = 0
+        seen = set() if steps is not None else None
+        for op in ops:
+            code = op[0]
+            if code == 1:
+                if open_gid >= 0:
+                    cycles += gmax
+                    open_gid = -1
+                    gmax = 0
+                latency = access(op[1])
+                cycles += latency
+                nrefs += 1
+                if steps is not None:
+                    steps.append((op[2], latency))
+            elif code == 2:
+                probe(op[1])
+            elif code == 3:
+                gid = op[1]
+                if gid != open_gid:
+                    if open_gid >= 0:
+                        cycles += gmax
+                    open_gid = gid
+                    gmax = 0
+                latency = access(op[2])
+                if latency > gmax:
+                    gmax = latency
+                nrefs += 1
+                if steps is not None and gid not in seen:
+                    seen.add(gid)
+                    steps.append((op[3], latency))
+            elif code == 4:
+                _c, has_hit, ckey, hit_way, hit_addr, hit_tag, cands = op
+                if has_hit:
+                    predicted = centries.pop(ckey, None)
+                    if predicted is None:
+                        ccounters[1] += 1
+                    else:
+                        centries[ckey] = predicted   # LRU touch
+                        ccounters[0] += 1
+                    if predicted == hit_way:
+                        # CWC hit: single targeted probe
+                        if open_gid >= 0:
+                            cycles += gmax
+                            open_gid = -1
+                            gmax = 0
+                        latency = access(hit_addr)
+                        cycles += latency
+                        nrefs += 1
+                        if steps is not None:
+                            steps.append((hit_tag, latency))
+                        continue
+                    # mispredict: install the true way (CuckooWalkCache.put)
+                    if ckey in centries:
+                        centries.pop(ckey)
+                    elif len(centries) >= ccap:
+                        centries.pop(next(iter(centries)))
+                    centries[ckey] = hit_way
+                    for addr, tag, crit in cands:
+                        if crit:
+                            if open_gid >= 0:
+                                cycles += gmax
+                                open_gid = -1
+                                gmax = 0
+                            latency = access(addr)
+                            cycles += latency
+                            nrefs += 1
+                            if steps is not None:
+                                steps.append((tag, latency))
+                        else:
+                            probe(addr)
+                else:
+                    # full miss: probe every candidate, completion waits
+                    # for the slowest (the grouped first-candidate fetch)
+                    for addr, _tag, _crit in cands:
+                        probe(addr)
+                    addr, tag, _crit = cands[0]
+                    if open_gid != 0:
+                        if open_gid >= 0:
+                            cycles += gmax
+                        open_gid = 0
+                        gmax = 0
+                    latency = access(addr)
+                    if latency > gmax:
+                        gmax = latency
+                    nrefs += 1
+                    if steps is not None and 0 not in seen:
+                        seen.add(0)
+                        steps.append((tag, latency))
+            else:  # code == 0: charge
+                if open_gid >= 0:
+                    cycles += gmax
+                    open_gid = -1
+                    gmax = 0
+                cycles += op[1]
+        if open_gid >= 0:
+            cycles += gmax
+        return cycles, nrefs, False
+
+    return run
+
+
+def _make_ecpt_runner(spec: BatchSpec, memsys: MemorySubsystem,
+                      uniq_vpns: List[int], access: Callable[[int], int],
+                      access_ctx, collect: bool,
+                      finalizers: List[Callable[[], None]]):
+    """ECPT (native or nested): plans + the live-CWC op interpreter."""
+    if spec.kind == "ecpt-native":
+        plans = _build_ecpt_native_plans(spec, uniq_vpns, collect)
+        cwc = spec.ecpt.cwc
+    else:
+        plans = _build_ecpt_nested_plans(spec, uniq_vpns, collect)
+        cwc = spec.host_ecpt.cwc   # the scalar walker probes only this one
+    return _make_ops_runner(plans, access, _make_probe(access_ctx), cwc,
+                            finalizers)
+
+
+def _make_fpt_runner(spec: BatchSpec, memsys: MemorySubsystem,
+                     uniq_vpns: List[int], access: Callable[[int], int],
+                     access_ctx, collect: bool,
+                     finalizers: List[Callable[[], None]]):
+    """FPT (native or nested): fully static plans, no prediction state."""
+    if spec.kind == "fpt-native":
+        plans = _build_fpt_native_plans(spec, uniq_vpns, collect)
+    else:
+        plans = _build_fpt_nested_plans(spec, uniq_vpns, collect)
+    return _make_ops_runner(plans, access, _make_probe(access_ctx), None,
+                            finalizers)
+
+
+def _make_agile_runner(spec: BatchSpec, memsys: MemorySubsystem,
+                       uniq_vpns: List[int], access: Callable[[int], int],
+                       access_ctx, collect: bool,
+                       finalizers: List[Callable[[], None]]):
+    """Agile Paging: PWC-probed shadow chain + nested data resolution.
+
+    Phase 1 replays like a native radix walk against the *host* PWC
+    (including the scalar walker's dead-PTE descent quirk, baked into
+    the chain rows); phase 2 is one precomputed guest-leaf fetch; phase
+    3 is the nested-PWC consult + memoized host chain, the same shape
+    as the radix-nested ``resolve_host``.
+    """
+    view = memsys.pwc.batch_view()
+    probe, probe_fin, _probe_ctx = _make_pwc_probe(view)
+    finalizers.append(probe_fin)
+    tables = view.tables
+    capacities = view.capacities
+    pwc_latency = memsys.pwc_latency
+    top_level = view.top_level
+    chain_top = min(top_level, spec.guest_pt.levels)
+    plans = _build_agile_plans(spec, top_level, len(tables), uniq_vpns,
+                               collect)
+
+    nview = memsys.nested_pwc.batch_view()
+    ntable = nview.table
+    ncapacity = nview.capacity
+    naccept = nview.accept
+    ncounters = [0, 0]
+    ncredit = [nview.owner.credit]
+
+    def run(vpn: int, steps) -> Tuple[int, int, bool]:
+        chain, leaf, data = plans[vpn]
+        cycles = pwc_latency
+        nrefs = 0
+        # probe() returns a top_level-relative chain index; clamp to the
+        # shadow chain's top (the scalar min(start_level, levels)).
+        start = probe(vpn)
+        lvl = top_level - start
+        if lvl > chain_top:
+            lvl = chain_top
+        for addr, tag, fill in chain[chain_top - lvl:]:
+            latency = access(addr)
+            cycles += latency
+            nrefs += 1
+            if steps is not None:
+                steps.append((tag, latency))
+            if fill is not None:
+                offset, key, value = fill
+                table = tables[offset]
+                if key in table:
+                    del table[key]
+                elif len(table) >= capacities[offset]:
+                    del table[next(iter(table))]
+                table[key] = value
+        if leaf is None:
+            return cycles, nrefs, False
+        leaf_addr, leaf_tag = leaf
+        latency = access(leaf_addr)
+        cycles += latency
+        nrefs += 1
+        if steps is not None:
+            steps.append((leaf_tag, latency))
+        # Phase 3: nested-PWC consult + host chain (scalar _host_resolve)
+        dgfn, dhfn, dsteps, dtags = data
+        hit = False
+        if dgfn in ntable:
+            cached = ntable.pop(dgfn)   # LRU touch, even when thinned
+            ntable[dgfn] = cached
+            if naccept < 1.0:
+                credit = ncredit[0] + naccept
+                if credit >= 1.0:
+                    ncredit[0] = credit - 1.0
+                    hit = True
+                else:
+                    ncredit[0] = credit
+            else:
+                hit = True
+        if hit:
+            ncounters[0] += 1
+            return cycles, nrefs, False
+        ncounters[1] += 1
+        if steps is None:
+            for addr in dsteps:
+                cycles += access(addr)
+                nrefs += 1
+        else:
+            for addr, tag in zip(dsteps, dtags):
+                latency = access(addr)
+                cycles += latency
+                nrefs += 1
+                steps.append((tag, latency))
+        if dgfn in ntable:
+            del ntable[dgfn]
+        elif len(ntable) >= ncapacity:
+            del ntable[next(iter(ntable))]
+        ntable[dgfn] = dhfn
+        return cycles, nrefs, False
+
+    def agile_fin() -> None:
+        nview.stats.hits += ncounters[0]
+        nview.stats.misses += ncounters[1]
+        nview.owner.credit = ncredit[0]
+
+    finalizers.append(agile_fin)
+    return run
+
+
+def _make_asap_runner(walker: Walker, spec: BatchSpec,
+                      memsys: MemorySubsystem, uniq_vpns: List[int],
+                      access: Callable[[int], int], access_ctx,
+                      collect: bool,
+                      finalizers: List[Callable[[], None]]):
+    """ASAP (native or nested): prefetch cost model over the radix plan.
+
+    The prefetch addresses are static per VPN (native: the L2/L1 PTE
+    addresses; nested: the guest L2/L1 entries' host addresses plus
+    their EPT leaf entries). Nested prefetch *planning* performs the
+    scalar walker's lazy ``gpa_to_hpa`` first-touches, so it runs
+    interleaved with the inner radix-nested planner via its
+    ``prefetcher`` hook — before each VPN's chain resolves, the order
+    the scalar walk would touch them. At run time the prefetch accesses
+    go through the shared hierarchy (installing lines) before the inner
+    walk replays; the walk costs ``max(prefetch completion, inner)``
+    while refs and step tags come from the inner walk alone, and the
+    inner walker's own walks/cycles counters mirror the inner replays.
+    """
+    from repro.translation.asap import PREFETCH_LEVELS
+
+    inner_spec = spec.inner.batch_spec()
+    if spec.kind == "asap-native":
+        chain_hop = 0
+        pf_plans = {
+            vpn: tuple(step.pte_addr
+                       for step in spec.page_table.walk_steps(
+                           vpn << PAGE_SHIFT)
+                       if step.level in PREFETCH_LEVELS)
+            for vpn in uniq_vpns}
+        inner_run, _ = _make_radix_runner(
+            inner_spec, memsys, uniq_vpns, access, access_ctx, collect,
+            finalizers)
+    else:
+        chain_hop = walker.CHAIN_HOP_CYCLES
+        guest_pt = spec.guest_pt
+        gpa_to_hpa = spec.vm.gpa_to_hpa
+        ept = spec.vm.ept
+        pf_plans: dict = {}
+
+        def prefetcher(gva: int):
+            addrs = []
+            for step in guest_pt.walk_steps(gva):
+                if step.level not in PREFETCH_LEVELS:
+                    continue
+                addrs.append(gpa_to_hpa(step.pte_addr))  # lazy first-touch
+                for ept_step in ept.walk_steps(step.pte_addr):
+                    if ept_step.level in PREFETCH_LEVELS:
+                        addrs.append(ept_step.pte_addr)
+            return tuple(addrs)
+
+        inner_run, _ = _make_radix_runner(
+            inner_spec, memsys, uniq_vpns, access, access_ctx, collect,
+            finalizers, prefetcher=prefetcher, prefetch_out=pf_plans)
+
+    inner = spec.inner
+    acc = [0, 0, 0]  # inner walks, inner cycles, prefetches issued
+
+    def run(vpn: int, steps) -> Tuple[int, int, bool]:
+        pf = pf_plans[vpn]
+        worst = 0
+        for addr in pf:
+            latency = access(addr)
+            if latency > worst:
+                worst = latency
+        acc[2] += len(pf)
+        if worst and chain_hop:
+            worst += chain_hop
+        cycles, nrefs, _ = inner_run(vpn, steps)
+        acc[0] += 1
+        acc[1] += cycles
+        return (worst if worst > cycles else cycles), nrefs, False
+
+    def asap_fin() -> None:
+        inner.walks += acc[0]
+        inner.total_cycles += acc[1]
+        walker.prefetches += acc[2]
+
+    finalizers.append(asap_fin)
+    return run
+
+
 # --------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------- #
@@ -1046,9 +1851,10 @@ def replay_walks_vec(
     """
     from repro.sim.simulator import WalkStats
 
-    if not supports(walker):
+    reason = unsupported_reason(walker)
+    if reason is not None:
         raise ValueError(
-            f"walker {walker.name!r} has no batched replay path "
+            f"walker {walker.name!r} has no batched replay path: {reason} "
             "(use the scalar engine)")
     spec = walker.batch_spec()
     memsys = walker.memsys
@@ -1079,6 +1885,18 @@ def replay_walks_vec(
         if spec.kind == "dmt":
             run = _make_dmt_runner(spec, memsys, uniq_ordered, access,
                                    access_ctx, collect, finalizers)
+        elif spec.kind in ("ecpt-native", "ecpt-nested"):
+            run = _make_ecpt_runner(spec, memsys, uniq_ordered, access,
+                                    access_ctx, collect, finalizers)
+        elif spec.kind in ("fpt-native", "fpt-nested"):
+            run = _make_fpt_runner(spec, memsys, uniq_ordered, access,
+                                   access_ctx, collect, finalizers)
+        elif spec.kind == "agile":
+            run = _make_agile_runner(spec, memsys, uniq_ordered, access,
+                                     access_ctx, collect, finalizers)
+        elif spec.kind in ("asap-native", "asap-nested"):
+            run = _make_asap_runner(walker, spec, memsys, uniq_ordered,
+                                    access, access_ctx, collect, finalizers)
         else:
             run, run_many = _make_radix_runner(
                 spec, memsys, uniq_ordered, access, access_ctx, collect,

@@ -16,11 +16,18 @@ Agile Paging retains only a small fraction of shadow paging's VM exits
 
 from __future__ import annotations
 
+from typing import Optional
 
 from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize, level_index
 from repro.kernel.page_table import PTE_HUGE, PTE_PRESENT, RadixPageTable, pte_frame
 from repro.mem.physmem import frame_to_addr
-from repro.translation.base import MemorySubsystem, Walker, WalkRecorder, WalkResult
+from repro.translation.base import (
+    BatchSpec,
+    MemorySubsystem,
+    Walker,
+    WalkRecorder,
+    WalkResult,
+)
 from repro.virt.hypervisor import VM
 
 _LEAF_SIZE = {1: PageSize.SIZE_4K, 2: PageSize.SIZE_2M, 3: PageSize.SIZE_1G}
@@ -47,6 +54,10 @@ class AgilePagingWalker(Walker):
         self.spt = spt
         self.vm = vm
         self.shadow_exit_fraction = SHADOW_EXIT_FRACTION
+
+    def batch_spec(self) -> Optional[BatchSpec]:
+        return BatchSpec(kind="agile", guest_pt=self.guest_pt,
+                         spt=self.spt, vm=self.vm)
 
     def _host_resolve(self, gpa: int, rec: WalkRecorder, dim: str) -> int:
         gfn = gpa >> PAGE_SHIFT

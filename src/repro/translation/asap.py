@@ -19,9 +19,10 @@ prefetched, a translation still takes a two-dimensional walk".
 
 from __future__ import annotations
 
+from typing import Optional
 
 from repro.kernel.page_table import RadixPageTable
-from repro.translation.base import MemorySubsystem, Walker, WalkResult
+from repro.translation.base import BatchSpec, MemorySubsystem, Walker, WalkResult
 from repro.translation.radix import NativeRadixWalker, NestedRadixWalker
 from repro.virt.hypervisor import VM
 
@@ -39,6 +40,10 @@ class ASAPNativeWalker(Walker):
         self.page_table = page_table
         self._walker = NativeRadixWalker(page_table, memsys)
         self.prefetches = 0
+
+    def batch_spec(self) -> Optional[BatchSpec]:
+        return BatchSpec(kind="asap-native", page_table=self.page_table,
+                         inner=self._walker)
 
     def _prefetch(self, va: int) -> int:
         """Issue the prefetches; returns their completion time (cycles).
@@ -82,6 +87,10 @@ class ASAPNestedWalker(Walker):
         self.vm = vm
         self._walker = NestedRadixWalker(guest_pt, vm, memsys)
         self.prefetches = 0
+
+    def batch_spec(self) -> Optional[BatchSpec]:
+        return BatchSpec(kind="asap-nested", guest_pt=self.guest_pt,
+                         vm=self.vm, inner=self._walker)
 
     def _prefetch(self, gva: int) -> int:
         worst = 0

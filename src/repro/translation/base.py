@@ -179,9 +179,15 @@ class BatchSpec:
 
     ``kind`` selects the planner: ``"radix-native"`` (one-dimensional
     walk over ``page_table``), ``"radix-nested"`` (two-dimensional walk
-    over ``guest_pt`` with host resolution through ``vm``), or ``"dmt"``
+    over ``guest_pt`` with host resolution through ``vm``), ``"dmt"``
     (register attempt via ``attempt``/``fetcher`` with ``fallback``
-    handling register misses).
+    handling register misses), ``"ecpt-native"``/``"ecpt-nested"``
+    (hashed-bucket probing over ``ecpt``/``host_ecpt`` with the live
+    Cuckoo Walk Cache), ``"fpt-native"``/``"fpt-nested"`` (flattened
+    two-level plans over ``fpt``/``host_fpt``), ``"agile"`` (shadow
+    upper levels over ``spt`` + nested leaf through ``vm``), or
+    ``"asap-native"``/``"asap-nested"`` (prefetch cost model wrapped
+    around the ``inner`` radix walker's plan).
     """
 
     kind: str
@@ -191,6 +197,13 @@ class BatchSpec:
     attempt: Optional[Callable] = None   # dmt: (va, fetch_cb) -> FetchResult
     fetcher: object = None          # dmt: the DMTFetcher (counter fidelity)
     fallback: object = None         # dmt: Walker covering register misses
+    ecpt: object = None             # ecpt-*: guest/native cuckoo tables
+    host_ecpt: object = None        # ecpt-nested: host cuckoo tables
+    fpt: object = None              # fpt-*: guest/native flattened table
+    host_fpt: object = None         # fpt-nested: host flattened table
+    probe_huge: bool = False        # fpt-*: parallel 2M slot probing
+    spt: object = None              # agile: the shadow page table
+    inner: object = None            # asap-*: the wrapped radix walker
     #: Extra walkers whose walks/cycles counters mirror this walker's
     #: (ShadowWalker records through its inner native walker too).
     extra_walkers: Tuple = field(default_factory=tuple)

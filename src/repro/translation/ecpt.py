@@ -25,7 +25,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize
 from repro.kernel.page_table import PTE_PRESENT, make_pte, pte_frame
 from repro.mem.physmem import PhysicalMemory
-from repro.translation.base import MemorySubsystem, Walker, WalkRecorder, WalkResult
+from repro.translation.base import (
+    BatchSpec,
+    MemorySubsystem,
+    Walker,
+    WalkRecorder,
+    WalkResult,
+)
 from repro.virt.hypervisor import VM
 
 #: Cycles modeled for computing the way hashes of one lookup.
@@ -393,6 +399,9 @@ class ECPTNativeWalker(Walker):
         super().__init__(memsys)
         self.ecpt = ecpt
 
+    def batch_spec(self) -> Optional[BatchSpec]:
+        return BatchSpec(kind="ecpt-native", ecpt=self.ecpt)
+
     def translate(self, va: int) -> WalkResult:
         rec = WalkRecorder(self.memsys)
         rec.charge(HASH_CYCLES)
@@ -424,6 +433,10 @@ class ECPTNestedWalker(Walker):
         self.guest_ecpt = guest_ecpt
         self.host_ecpt = host_ecpt
         self.vm = vm
+
+    def batch_spec(self) -> Optional[BatchSpec]:
+        return BatchSpec(kind="ecpt-nested", ecpt=self.guest_ecpt,
+                         host_ecpt=self.host_ecpt, vm=self.vm)
 
     def _host_probe(self, gpa: int, rec: WalkRecorder, tag: str,
                     critical: bool) -> Optional[int]:

@@ -28,7 +28,13 @@ from repro.arch import (
 )
 from repro.kernel.page_table import PTE_HUGE, PTE_PRESENT, make_pte, pte_frame
 from repro.mem.physmem import PhysicalMemory, frame_to_addr
-from repro.translation.base import MemorySubsystem, Walker, WalkRecorder, WalkResult
+from repro.translation.base import (
+    BatchSpec,
+    MemorySubsystem,
+    Walker,
+    WalkRecorder,
+    WalkResult,
+)
 from repro.virt.hypervisor import VM
 
 _FLAT_BITS = 18               # two merged 9-bit levels
@@ -157,6 +163,10 @@ class FPTNativeWalker(Walker):
         self.fpt = fpt
         self.probe_huge = probe_huge
 
+    def batch_spec(self) -> Optional[BatchSpec]:
+        return BatchSpec(kind="fpt-native", fpt=self.fpt,
+                         probe_huge=self.probe_huge)
+
     def _leaf_probe(self, leaf_frame: int, va: int, rec: WalkRecorder,
                     group: int, tag: str) -> Optional[Tuple[int, PageSize]]:
         """Probe the merged leaf node; with huge pages two slots are probed
@@ -218,6 +228,11 @@ class FPTNestedWalker(Walker):
         self.host_fpt = host_fpt
         self.vm = vm
         self.probe_huge = probe_huge
+
+    def batch_spec(self) -> Optional[BatchSpec]:
+        return BatchSpec(kind="fpt-nested", fpt=self.guest_fpt,
+                         host_fpt=self.host_fpt, vm=self.vm,
+                         probe_huge=self.probe_huge)
 
     _group_seq = 100  # grouped host-leaf probes need distinct group ids
 

@@ -319,7 +319,7 @@ class TestSweepIntegration:
 
     def test_run_group_emits_error_cell_for_unknown_design(self):
         task = (("native",), "GUPS", False, ("vanilla", "bogus"),
-                dict(scale=4096, nrefs=2000))
+                dict(scale=4096, nrefs=2000), None, None)
         cells = run_group(task)
         good = [c for c in cells if "error" not in c]
         bad = [c for c in cells if "error" in c]

@@ -20,10 +20,14 @@ from repro.sim.simulator import Stage1Cache, replay_walks
 from repro.sim.sweep import run_group
 from repro.sim.walk_vec import replay_walks_vec, supports
 
-#: Every (environment, design) pair the batched engine vectorizes.
+#: Every (environment, design) pair the batched engine vectorizes —
+#: since the ECPT/FPT/Agile/ASAP planners landed, that is the full
+#: design grid of all three environments.
 SUPPORTED = [
-    ("native", "vanilla"), ("native", "dmt"),
-    ("virt", "vanilla"), ("virt", "shadow"),
+    ("native", "vanilla"), ("native", "fpt"), ("native", "ecpt"),
+    ("native", "asap"), ("native", "dmt"),
+    ("virt", "vanilla"), ("virt", "shadow"), ("virt", "fpt"),
+    ("virt", "ecpt"), ("virt", "agile"), ("virt", "asap"),
     ("virt", "dmt"), ("virt", "pvdmt"),
     ("nested", "vanilla"), ("nested", "pvdmt"),
 ]
@@ -86,6 +90,29 @@ def _walker_counters(walker):
     return (walker.walks, walker.total_cycles, walker.fallbacks)
 
 
+def _design_state(walker):
+    """Mutable design-side state outside the memory subsystem.
+
+    ECPT's cuckoo-walk cache is LRU-ordered like the cache sets, so its
+    entry *order* is part of the snapshot; ASAP keeps a prefetch count
+    plus a full inner radix walker whose counters the batched path must
+    reproduce.
+    """
+    state = {}
+    for attr in ("ecpt", "guest_ecpt", "host_ecpt"):
+        tables = getattr(walker, attr, None)
+        if tables is not None:
+            cwc = tables.cwc
+            state[attr] = (tuple(cwc._entries.items()),
+                           cwc.hits, cwc.misses)
+    if hasattr(walker, "prefetches"):
+        state["prefetches"] = walker.prefetches
+    inner = getattr(walker, "_walker", None)
+    if inner is not None:
+        state["inner"] = _walker_counters(inner)
+    return state
+
+
 def _assert_parity(walker_scalar, walker_vec, miss_vas):
     stats_scalar = replay_walks(walker_scalar, miss_vas,
                                 collect_steps=True, engine="scalar")
@@ -95,6 +122,7 @@ def _assert_parity(walker_scalar, walker_vec, miss_vas):
     assert stats_scalar.step_breakdown() == stats_vec.step_breakdown()
     assert _walker_counters(walker_scalar) == _walker_counters(walker_vec)
     assert _memsys_state(walker_scalar) == _memsys_state(walker_vec)
+    assert _design_state(walker_scalar) == _design_state(walker_vec)
     for attr in ("fetcher", "fallback_walker"):
         scalar_part = getattr(walker_scalar, attr, None)
         vec_part = getattr(walker_vec, attr, None)
@@ -162,15 +190,37 @@ def test_vec_chunk_runner_matches_scalar_without_step_collection(
     assert _memsys_state(walker_scalar) == _memsys_state(walker_vec)
 
 
-@pytest.mark.parametrize("design", ["fpt", "ecpt", "asap"])
-def test_auto_engine_falls_back_to_scalar(design):
+def test_auto_engine_falls_back_to_scalar():
+    """Every design now has a planner, so the remaining genuine
+    fallbacks are environmental — here a sanitized run, whose runtime
+    hooks the batched engine would bypass. ``auto`` must fall back and
+    record why; ``vec`` must refuse with the same reason."""
+    from repro.analysis import sanitizer
+    from repro.sim.walk_vec import unsupported_reason
+
+    try:
+        config = replace(_config(), sanitize=True)
+        sim = ENVIRONMENTS["native"]("GUPS", config)
+        walker = sim.walker("vanilla")
+        assert not supports(walker)
+        reason = unsupported_reason(walker)
+        assert "sanitizer" in reason
+        stats = replay_walks(walker, sim.tlb.miss_vas[:64], engine="auto")
+        assert stats.engine == "scalar"
+        assert stats.fallback_reason == reason
+        with pytest.raises(ValueError, match="sanitizer"):
+            replay_walks(sim.walker("vanilla"), sim.tlb.miss_vas[:64],
+                         engine="vec")
+    finally:
+        sanitizer.reset()
+
+
+def test_vec_replay_records_no_fallback_reason():
     sim = ENVIRONMENTS["native"]("GUPS", _config())
-    walker = sim.walker(design)
-    assert not supports(walker)
-    stats = replay_walks(walker, sim.tlb.miss_vas[:64], engine="auto")
-    assert stats.engine == "scalar"
-    with pytest.raises(ValueError):
-        replay_walks(sim.walker(design), sim.tlb.miss_vas[:64], engine="vec")
+    stats = replay_walks(sim.walker("ecpt"), sim.tlb.miss_vas[:64],
+                         engine="auto")
+    assert stats.engine == "vec"
+    assert stats.fallback_reason is None
 
 
 def test_replay_rejects_unknown_engine():
@@ -194,11 +244,19 @@ def test_stage1_cache_shares_miss_stream_across_environments():
         assert sim.stage1_seconds == sims[0].stage1_seconds > 0.0
 
 
-def test_run_group_reports_stage1_reuse_telemetry():
+def test_run_group_reports_stage1_reuse_telemetry(tmp_path):
+    artifact_dir = str(tmp_path / "artifacts")
     task = (("native", "virt"), "GUPS", False, ("vanilla",),
-            dict(scale=4096, nrefs=3000))
+            dict(scale=4096, nrefs=3000), None, artifact_dir)
     cells = run_group(task)
     assert [cell["env"] for cell in cells] == ["native", "virt"]
     assert [cell["stage1_reused"] for cell in cells] == [False, True]
+    assert [cell["stage1_source"] for cell in cells] == ["computed", "memo"]
     assert cells[0]["stage1_seconds"] == cells[1]["stage1_seconds"] > 0.0
     assert all(cell["walk_engine"] == "vec" for cell in cells)
+    assert all(cell["stage2_fallback_reason"] is None for cell in cells)
+    # A rerun of the group (fresh Stage1Cache, as in a new worker or a
+    # new process) serves stage 1 from the on-disk artifact cache.
+    warm = run_group(task)
+    assert warm[0]["stage1_source"] == "disk"
+    assert warm[0]["mean_latency"] == cells[0]["mean_latency"]
