@@ -228,11 +228,16 @@ def main(argv=None) -> int:
                               "extension; default 4)")
     simopts.add_argument("--register-count", type=int, default=16,
                          help="DMT registers per set (default 16, Fig. 13)")
-    simopts.add_argument("--walk-engine", choices=("auto", "vec", "scalar"),
+    simopts.add_argument("--walk-engine",
+                         choices=("auto", "native", "vec", "scalar"),
                          default="auto",
-                         help="stage-2 replay engine: 'vec' batches walks "
-                              "per design, 'scalar' is the reference "
-                              "oracle, 'auto' picks vec when the design "
+                         help="stage-2 replay engine: 'native' runs the "
+                              "compiled chunk kernels (pure-Python "
+                              "fallback without numba, recorded in "
+                              "WalkStats.fallback_reason), 'vec' batches "
+                              "walks per design, 'scalar' is the "
+                              "reference oracle, 'auto' picks native "
+                              "when compiled, else vec, when the design "
                               "supports it (default)")
     simopts.add_argument("--sanitize", action="store_true",
                          help="enable the runtime translation sanitizer "

@@ -16,8 +16,13 @@ Scopes
     ``core/costs.py``, ``sim/perfmodel.py`` and ``obs/regress.py`` —
     calibrated constants need paper/DESIGN.md citations (rule L3).
 ``vec``
-    ``sim/tlb_vec.py``, ``sim/walk_vec.py`` and the ``obs/`` modules —
-    public functions need oracle test references (rule L4).
+    ``sim/tlb_vec.py``, ``sim/walk_vec.py``, the ``obs/`` modules and
+    everything under ``sim/kernels/`` — public functions need oracle
+    test references (rule L4).
+``kernels``
+    Files under ``sim/kernels/`` (which also carry ``vec``) — every
+    public kernel must *declare* its scalar-oracle counterpart with an
+    ``Oracle:`` line in its docstring (rule L402).
 
 A file can opt into scopes explicitly with a pragma in its first lines::
 
@@ -55,6 +60,10 @@ COSTS_FILES = (("core", "costs.py"), ("sim", "perfmodel.py"),
 VEC_FILES = (("sim", "tlb_vec.py"), ("sim", "walk_vec.py"),
              ("obs", "metrics.py"), ("obs", "trace.py"),
              ("obs", "regress.py"))
+#: Directory holding the native chunk kernels: scoped ``vec`` (L401's
+#: oracle-test requirement) plus ``kernels`` (L402's declared-oracle
+#: requirement).
+KERNELS_DIR = ("sim", "kernels")
 
 
 @dataclass(frozen=True)
@@ -161,12 +170,16 @@ class FileContext:
             scopes.add("costs")
         if tail in VEC_FILES:
             scopes.add("vec")
+        if tuple(parts[-3:-1]) == KERNELS_DIR:
+            scopes.update(("vec", "kernels"))
         for line in self.source.splitlines()[:20]:
             match = _SCOPE_PRAGMA_RE.search(line)
             if match:
                 scopes.update(
                     name.strip() for name in match.group(1).split(",") if name.strip()
                 )
+        if "kernels" in scopes:
+            scopes.add("vec")  # kernels are vec engine code: L401 + L402
         return scopes
 
     def _collect_ignores(self) -> Dict[int, Set[str]]:

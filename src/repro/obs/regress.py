@@ -75,7 +75,13 @@ def bench_walks_per_second(document: Dict) -> Dict[str, float]:
 
 def compare_bench(current: Dict, baseline: Dict,
                   tolerance: float = DEFAULT_TOLERANCE) -> List[Regression]:
-    """Regressions of the engine bench against its baseline."""
+    """Regressions of the engine bench against its baseline.
+
+    Beyond the throughput-within-tolerance check, each design's
+    vec (and, when timed, native) speedup must clear its per-design
+    floor — the baseline's recorded floor when present (the archived
+    contract), else the floor the current bench recorded for itself.
+    """
     current_wps = bench_walks_per_second(current)
     out: List[Regression] = []
     for design, base_wps in sorted(bench_walks_per_second(baseline).items()):
@@ -89,6 +95,18 @@ def compare_bench(current: Dict, baseline: Dict,
         if wps < limit:
             out.append(Regression("walks_per_second", key, base_wps, wps,
                                   limit))
+    baseline_entries = {entry["design"]: entry
+                        for entry in baseline.get("stage2", [])}
+    for entry in current.get("stage2", []):
+        base_entry = baseline_entries.get(entry["design"], {})
+        for speed_key, floor_key in (("speedup", "floor"),
+                                     ("native_speedup", "native_floor")):
+            floor = base_entry.get(floor_key) or entry.get(floor_key)
+            speed = entry.get(speed_key)
+            if floor and speed is not None and speed < floor:
+                out.append(Regression(
+                    "speedup_floor", f"bench:{entry['design']}:{speed_key}",
+                    floor, speed, floor))
     return out
 
 

@@ -105,13 +105,20 @@ class ArtifactCache:
             except OSError:
                 pass
 
-    def load_array(self, stage: str,
-                   key) -> Optional[Tuple[np.ndarray, Dict]]:
+    def load_array(self, stage: str, key,
+                   mmap: bool = False) -> Optional[Tuple[np.ndarray, Dict]]:
         """The stored ``(array, meta)`` for ``(stage, key)``, or None.
 
         None covers both a plain miss and a corrupt/mismatched entry
         (which is evicted on the way out) — the caller's response is
         the same: compute and :meth:`store_array`.
+
+        With ``mmap=True`` the payload comes back as a read-only
+        ``np.memmap`` over the cache file instead of a heap copy:
+        sweep workers sharing one cache directory then share the trace
+        and miss-stream pages through the OS page cache (zero-copy
+        transfer), and ``bytes_read`` counts the mapped extent, not
+        bytes actually faulted in.
         """
         key_digest = digest(stage, key)
         npy_path, meta_path = self._paths(key_digest)
@@ -126,7 +133,8 @@ class ArtifactCache:
                 if not ok:
                     self.evict(key_digest)
                     raise ValueError("sidecar does not match the request")
-                array = np.load(npy_path, allow_pickle=False)
+                array = np.load(npy_path, allow_pickle=False,
+                                mmap_mode="r" if mmap else None)
             except (OSError, ValueError, EOFError, json.JSONDecodeError):
                 # missing entry, torn write, corrupt payload, stale
                 # schema, or a digest collision: treat all as a miss

@@ -1,0 +1,24 @@
+"""Native-compiled stage-2 replay kernels (the ``native`` walk engine).
+
+The batched engine in :mod:`repro.sim.walk_vec` still executes its
+chunked state machine per-reference in the Python interpreter over
+``batch_view()`` dicts. This package replaces that hot loop with
+preallocated flat ndarray state (``array_view()`` on the caches, PWCs
+and the ECPT cuckoo-walk cache) and per-design chunk kernels that are
+JIT-compiled with Numba ``@njit(cache=True)`` when Numba is importable
+— and run as the *same source, uncompiled* otherwise, so the fallback
+is bit-identical by construction (:mod:`repro.sim.kernels.backend`).
+
+Entry point: :func:`repro.sim.kernels.replay.replay_walks_native`,
+reached through ``replay_walks(..., engine="native")`` or
+``--walk-engine native``. DESIGN.md §11 documents the architecture and
+the array-view writeback contract.
+"""
+
+from repro.sim.kernels.backend import (  # noqa: F401
+    BACKEND,
+    HAVE_NUMBA,
+    UNAVAILABLE_REASON,
+    jit,
+)
+from repro.sim.kernels.replay import replay_walks_native  # noqa: F401

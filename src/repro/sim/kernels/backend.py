@@ -1,0 +1,39 @@
+"""Backend selection for the native kernel engine.
+
+Numba is an optional dependency: when it imports, every kernel in this
+package is compiled with ``@njit(cache=True)``; when it does not, the
+``jit`` decorator is the identity and the *same source* runs under the
+plain interpreter. Both backends therefore execute the identical
+algorithm over the identical flat-array state — the pure-Python path is
+bit-identical by construction, just slow, and callers record
+:data:`UNAVAILABLE_REASON` as ``WalkStats.fallback_reason`` so a
+missing JIT can never silently masquerade as the compiled engine.
+"""
+
+from __future__ import annotations
+
+try:
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+    BACKEND = "numba"
+    UNAVAILABLE_REASON = None
+except ImportError:  # pragma: no cover - exercised by the no-numba CI leg
+    _njit = None
+    HAVE_NUMBA = False
+    BACKEND = "python"
+    UNAVAILABLE_REASON = (
+        "numba unavailable: native kernels run as uncompiled Python "
+        "(bit-identical, interpreter speed)"
+    )
+
+
+def jit(func):
+    """Compile ``func`` with Numba when available, else return it as is.
+
+    Oracle: none — pure backend selection; the decorated kernels each
+    declare their own scalar-oracle counterpart.
+    """
+    if HAVE_NUMBA:
+        return _njit(cache=True)(func)
+    return func

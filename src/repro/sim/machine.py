@@ -100,11 +100,13 @@ class SimConfig:
     #: "scalar" (the dict-backed reference oracle). Both are
     #: bit-identical; the oracle exists for equivalence testing.
     engine: str = "vec"
-    #: Stage-2 replay engine: "auto" (batched :mod:`repro.sim.walk_vec`
-    #: when the design supports it, scalar otherwise — the default),
-    #: "vec" (batched, erroring on unsupported designs), or "scalar"
-    #: (the per-walk reference oracle). All paths are bit-identical on
-    #: supported designs.
+    #: Stage-2 replay engine: "auto" (native kernels when the compiled
+    #: backend and the design support them, else batched
+    #: :mod:`repro.sim.walk_vec` when supported, scalar otherwise — the
+    #: default), "native" (:mod:`repro.sim.kernels` chunk kernels,
+    #: erroring on unsupported designs), "vec" (batched, same erroring),
+    #: or "scalar" (the per-walk reference oracle). All paths are
+    #: bit-identical on supported designs.
     walk_engine: str = "auto"
     #: Enable the runtime translation sanitizer
     #: (:mod:`repro.analysis.sanitizer`) for this run.
@@ -127,10 +129,10 @@ class SimConfig:
             raise ValueError(
                 f"engine={self.engine!r}: expected 'vec' or 'scalar'"
             )
-        if self.walk_engine not in ("auto", "vec", "scalar"):
+        if self.walk_engine not in ("auto", "native", "vec", "scalar"):
             raise ValueError(
                 f"walk_engine={self.walk_engine!r}: expected 'auto', "
-                f"'vec' or 'scalar'"
+                f"'native', 'vec' or 'scalar'"
             )
         if self.scale < 1:
             raise ValueError(f"scale={self.scale} must be >= 1")
@@ -261,7 +263,7 @@ class _SimulationBase:
             return self.workload.generate_trace(layout, self.config.nrefs,
                                                 self.config.seed)
         key = self._trace_key()
-        loaded = artifacts.load_array("trace", key)
+        loaded = artifacts.load_array("trace", key, mmap=True)
         if loaded is not None:
             return loaded[0]
         trace = self.workload.generate_trace(layout, self.config.nrefs,

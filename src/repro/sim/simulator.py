@@ -257,24 +257,35 @@ def replay_walks(
 
     ``engine`` selects the stage-2 path: ``"scalar"`` (this loop, the
     reference oracle), ``"vec"`` (:mod:`repro.sim.walk_vec`, raising for
-    walkers without a batched path), or ``"auto"`` (vec when the walker
-    supports it, scalar otherwise). All paths are bit-identical on
-    supported designs (``tests/test_walk_vec.py``).
+    walkers without a batched path), ``"native"``
+    (:mod:`repro.sim.kernels`, the compiled chunk kernels — same raise,
+    and ``WalkStats.fallback_reason`` records when the kernels ran as
+    uncompiled Python because Numba is absent), or ``"auto"`` (native
+    when the compiled backend is available and the walker supports it,
+    else vec when supported, scalar otherwise). All paths are
+    bit-identical on supported designs (``tests/test_walk_vec.py``).
     """
-    if engine not in ("scalar", "vec", "auto"):
+    if engine not in ("scalar", "vec", "native", "auto"):
         raise ValueError(f"unknown stage-2 engine {engine!r} "
-                         "(expected 'scalar', 'vec' or 'auto')")
+                         "(expected 'scalar', 'vec', 'native' or 'auto')")
     fallback_reason: Optional[str] = None
     if engine != "scalar":
         from repro.sim import walk_vec
         fallback_reason = walk_vec.unsupported_reason(walker)
         if fallback_reason is None:
+            from repro.sim.kernels import HAVE_NUMBA, replay_walks_native
+            if engine == "native" or (engine == "auto" and HAVE_NUMBA):
+                return replay_walks_native(
+                    walker, miss_vas,
+                    warmup_fraction=warmup_fraction,
+                    collect_steps=collect_steps,
+                )
             return walk_vec.replay_walks_vec(
                 walker, miss_vas,
                 warmup_fraction=warmup_fraction,
                 collect_steps=collect_steps,
             )
-        if engine == "vec":
+        if engine in ("vec", "native"):
             raise ValueError(
                 f"walker {walker.name!r} has no batched replay path: "
                 f"{fallback_reason} (use engine='auto' or 'scalar')")
@@ -377,7 +388,10 @@ class Stage1Cache:
             self.last_source = "memo"
             return entry[0]
         if self.artifacts is not None:
-            loaded = self.artifacts.load_array("stage1", list(key))
+            # mmap: workers replaying the same miss stream share the
+            # cache file's pages instead of each materializing a copy.
+            loaded = self.artifacts.load_array("stage1", list(key),
+                                               mmap=True)
             if loaded is not None:
                 miss_vas, meta = loaded
                 result = TLBFilterResult(miss_vas,

@@ -1908,20 +1908,26 @@ def replay_walks_vec(
         warm_cycles = 0
         warm_fallbacks = 0
         walks = measured_cycles = refs = fallbacks = 0
+        # Chunks reach the runners as memoryviews of the ndarray slices
+        # — zero-copy (no Python-list materialization), yet iteration
+        # yields native ints, so the runners' dict lookups and shifts
+        # skip np.int64 scalar overhead (~25% on the radix fast path).
         if run_many is not None:
             for start in range(0, warmup, chunk):
                 cycles, _nrefs = run_many(
-                    vpns[start:min(start + chunk, warmup)].tolist())
+                    memoryview(vpns[start:min(start + chunk, warmup)]))
                 warm_cycles += cycles
             for start in range(max(warmup, 0), total, chunk):
-                chunk_vpns = vpns[start:min(start + chunk, total)].tolist()
+                chunk_vpns = memoryview(vpns[start:min(start + chunk,
+                                                       total)])
                 cycles, nrefs = run_many(chunk_vpns)
                 walks += len(chunk_vpns)
                 measured_cycles += cycles
                 refs += nrefs
         else:
             for start in range(0, warmup, chunk):
-                for vpn in vpns[start:min(start + chunk, warmup)].tolist():
+                for vpn in memoryview(vpns[start:min(start + chunk,
+                                                     warmup)]):
                     cycles, _nrefs, fell_back = run(vpn, None)
                     warm_cycles += cycles
                     if fell_back:
@@ -1929,7 +1935,8 @@ def replay_walks_vec(
 
             step_cycles = stats.step_cycles
             for start in range(max(warmup, 0), total, chunk):
-                chunk_vpns = vpns[start:min(start + chunk, total)].tolist()
+                chunk_vpns = memoryview(vpns[start:min(start + chunk,
+                                                       total)])
                 if not collect:
                     for vpn in chunk_vpns:
                         cycles, nrefs, fell_back = run(vpn, None)

@@ -20,7 +20,10 @@ pvDMT's two direct references avoid (§3.1).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize
 from repro.kernel.page_table import PTE_PRESENT, make_pte, pte_frame
@@ -287,6 +290,51 @@ class CuckooWalkCache:
         elif len(self._entries) >= self.capacity:
             self._entries.pop(next(iter(self._entries)))
         self._entries[key] = way
+
+    def array_view(self) -> "CWCArrayView":
+        """Flat ndarray state copy for the native kernel engine.
+
+        See :class:`CWCArrayView` for the key encoding and the
+        writeback contract.
+        """
+        keys = np.full(self.capacity, -1, dtype=np.int64)
+        ways = np.full(self.capacity, -1, dtype=np.int64)
+        for slot, ((size, group), way) in enumerate(self._entries.items()):
+            keys[slot] = (group << 6) | size
+            ways[slot] = way
+        return CWCArrayView(
+            keys=keys,
+            ways=ways,
+            meta=np.array([len(self._entries), self.capacity],
+                          dtype=np.int64),
+            owner=self,
+        )
+
+
+@dataclass
+class CWCArrayView:
+    """Flat ndarray snapshot of a :class:`CuckooWalkCache` (native kernels).
+
+    The ``(size, group)`` key tuples are packed into one int64 as
+    ``(group << 6) | size`` — ``size`` is a page-size shift (12/21/30),
+    well under 64, and groups of 48-bit VAs leave ample headroom. Same
+    copy/writeback contract as the cache/PWC array views: mutate the
+    arrays, then call :meth:`writeback` exactly once; hit/miss counters
+    are accumulated by the kernels and flushed separately.
+    """
+
+    keys: np.ndarray      # int64[capacity], LRU order oldest first, -1 empty
+    ways: np.ndarray      # int64[capacity]
+    meta: np.ndarray      # int64[2]: [live entries, capacity]
+    owner: "CuckooWalkCache"
+
+    def writeback(self) -> None:
+        count = int(self.meta[0])
+        self.owner._entries = {
+            (int(self.keys[k]) & 63, int(self.keys[k]) >> 6):
+            int(self.ways[k])
+            for k in range(count)
+        }
 
 
 class ElasticCuckooPageTables:

@@ -1,0 +1,11 @@
+# dmtlint-scope: kernels
+"""Planted bug: a public kernel that declares no scalar oracle (L402).
+
+The function name is referenced from the test corpus so L401 stays
+quiet — the only finding is the missing ``Oracle:`` docstring line.
+"""
+
+
+def distilled_probe_kernel(state, key):
+    """Look up ``key`` in the packed state arrays."""
+    return state[0] == key

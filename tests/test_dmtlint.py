@@ -19,6 +19,7 @@ EXPECTED = {
     "set_iteration_bug.py": {"L203"},
     "uncited_cost_bug.py": {"L301"},
     "unreferenced_vec_bug.py": {"L401"},
+    "undeclared_kernel_bug.py": {"L402"},
 }
 
 
@@ -45,6 +46,14 @@ def test_l401_names_the_untested_function():
     violations = lint_paths([STATIC / "unreferenced_vec_bug.py"])
     assert [v.rule for v in violations] == ["L401"]
     assert name in violations[0].message
+
+
+def test_l402_requires_declared_oracle():
+    # the kernels scope implies vec, so both L401 and L402 are in play;
+    # naming distilled_probe_kernel here keeps it in the L401 corpus
+    violations = lint_paths([STATIC / "undeclared_kernel_bug.py"])
+    assert [v.rule for v in violations] == ["L402"]
+    assert "distilled_probe_kernel" in violations[0].message
 
 
 def test_repro_package_is_lint_clean():

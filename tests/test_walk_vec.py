@@ -1,11 +1,15 @@
-"""Oracle parity for the batched stage-2 replay engine.
+"""Oracle parity for the batched and native stage-2 replay engines.
 
-``walk_vec.replay_walks_vec`` must be bit-identical to the scalar
-``replay_walks`` oracle: same :class:`WalkStats` (including the step
-breakdown), same walker/fetcher counters, and the same memory-subsystem
-state (cache sets + LRU order, PWC tables + thinning credits) after the
-replay. Designs the engine does not vectorize must transparently fall
-back to the scalar path under ``engine="auto"``.
+``walk_vec.replay_walks_vec`` and ``kernels.replay_walks_native`` must
+be bit-identical to the scalar ``replay_walks`` oracle: same
+:class:`WalkStats` (including the step breakdown on the vec path), same
+walker/fetcher counters, and the same memory-subsystem state (cache
+sets + LRU order, PWC tables + thinning credits, the ECPT cuckoo-walk
+cache) after the replay. Designs the engines do not support must
+transparently fall back to the scalar path under ``engine="auto"``.
+The parity cases run against both batched engines (the ``ENGINES``
+parametrization); on the native engine the same assertions hold
+whichever kernel backend (numba or pure Python) is active.
 """
 
 from dataclasses import replace
@@ -15,10 +19,19 @@ import pytest
 
 from repro.core.registers import RegisterSet
 from repro.hw.config import xeon_gold_6138
+from repro.sim.kernels import HAVE_NUMBA
 from repro.sim.machine import ENVIRONMENTS, SimConfig
 from repro.sim.simulator import Stage1Cache, replay_walks
 from repro.sim.sweep import run_group
 from repro.sim.walk_vec import replay_walks_vec, supports
+
+#: Both batched stage-2 engines; the parity suite runs each against the
+#: scalar oracle.
+ENGINES = ("vec", "native")
+
+#: What ``engine="auto"`` resolves to in this process: the native
+#: kernels when the compiled backend imported, else the vec engine.
+AUTO_ENGINE = "native" if HAVE_NUMBA else "vec"
 
 #: Every (environment, design) pair the batched engine vectorizes —
 #: since the ECPT/FPT/Agile/ASAP planners landed, that is the full
@@ -113,11 +126,21 @@ def _design_state(walker):
     return state
 
 
-def _assert_parity(walker_scalar, walker_vec, miss_vas):
-    stats_scalar = replay_walks(walker_scalar, miss_vas,
-                                collect_steps=True, engine="scalar")
-    stats_vec = replay_walks_vec(walker_vec, miss_vas, collect_steps=True)
-    assert stats_scalar.engine == "scalar" and stats_vec.engine == "vec"
+def _assert_parity(walker_scalar, walker_vec, miss_vas, engine="vec"):
+    if engine == "native":
+        # The kernels carry no step tags (collection delegates to the
+        # vec runners), so the native leg compares stats and the full
+        # post-replay state without step collection.
+        stats_scalar = replay_walks(walker_scalar, miss_vas,
+                                    collect_steps=False, engine="scalar")
+        stats_vec = replay_walks(walker_vec, miss_vas,
+                                 collect_steps=False, engine="native")
+    else:
+        stats_scalar = replay_walks(walker_scalar, miss_vas,
+                                    collect_steps=True, engine="scalar")
+        stats_vec = replay_walks_vec(walker_vec, miss_vas,
+                                     collect_steps=True)
+    assert stats_scalar.engine == "scalar" and stats_vec.engine == engine
     assert stats_scalar == stats_vec
     assert stats_scalar.step_breakdown() == stats_vec.step_breakdown()
     assert _walker_counters(walker_scalar) == _walker_counters(walker_vec)
@@ -137,17 +160,21 @@ def _assert_parity(walker_scalar, walker_vec, miss_vas):
     return stats_scalar
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("env,design,thp,seed", PARITY_CASES)
-def test_vec_replay_matches_scalar_oracle(env, design, thp, seed):
+def test_vec_replay_matches_scalar_oracle(env, design, thp, seed, engine):
     config = _config(thp=thp, seed=seed)
     walker_scalar, walker_vec, miss_vas = _build_pair(env, design, config)
     assert supports(walker_scalar) and supports(walker_vec)
-    stats = _assert_parity(walker_scalar, walker_vec, miss_vas)
+    stats = _assert_parity(walker_scalar, walker_vec, miss_vas,
+                           engine=engine)
     assert stats.walks > 0 and stats.ref_count > 0
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("env,design,which", DMT_CASES)
-def test_vec_replay_matches_scalar_on_dmt_fallbacks(env, design, which):
+def test_vec_replay_matches_scalar_on_dmt_fallbacks(env, design, which,
+                                                    engine):
     """Prune the register file so fetcher misses exercise the fallback."""
     config = _config(seed=3)
     walker_scalar, walker_vec, miss_vas = _build_pair(
@@ -158,7 +185,8 @@ def test_vec_replay_matches_scalar_on_dmt_fallbacks(env, design, which):
         kept = set(sorted(set(r.vma_base for r in registers))[::2])
         register_file.load(which, [r for r in registers
                                    if r.vma_base in kept])
-    stats = _assert_parity(walker_scalar, walker_vec, miss_vas)
+    stats = _assert_parity(walker_scalar, walker_vec, miss_vas,
+                           engine=engine)
     assert stats.fallbacks > 0, "pruning must force register misses"
 
 
@@ -215,12 +243,55 @@ def test_auto_engine_falls_back_to_scalar():
         sanitizer.reset()
 
 
-def test_vec_replay_records_no_fallback_reason():
+def test_auto_engine_prefers_native_when_compiled():
+    """``auto`` resolves to the native kernels only when the compiled
+    backend imported; with the pure-Python backend it stays on vec (the
+    uncompiled kernels are bit-identical but slower), and only an
+    explicit ``engine="native"`` runs them."""
     sim = ENVIRONMENTS["native"]("GUPS", _config())
     stats = replay_walks(sim.walker("ecpt"), sim.tlb.miss_vas[:64],
                          engine="auto")
-    assert stats.engine == "vec"
-    assert stats.fallback_reason is None
+    assert stats.engine == AUTO_ENGINE
+    if HAVE_NUMBA:
+        assert stats.fallback_reason is None
+    else:
+        assert stats.fallback_reason is None  # vec path, nothing fell back
+
+
+def test_explicit_native_records_backend_fallback_reason():
+    """``engine="native"`` always runs the kernels; when numba is absent
+    the stats must say the uncompiled backend ran (never silently
+    masquerade as the compiled engine)."""
+    from repro.sim.kernels import UNAVAILABLE_REASON
+
+    sim = ENVIRONMENTS["native"]("GUPS", _config())
+    stats = replay_walks(sim.walker("vanilla"), sim.tlb.miss_vas[:64],
+                         engine="native")
+    assert stats.engine == "native"
+    if HAVE_NUMBA:
+        assert stats.fallback_reason is None
+    else:
+        assert stats.fallback_reason == UNAVAILABLE_REASON
+        assert "numba" in stats.fallback_reason
+
+
+def test_native_step_collection_delegates_to_vec():
+    """Step collection needs the interpreted runners' latency tags; the
+    native engine must hand off and say so, bit-identically."""
+    from repro.sim.kernels.replay import STEP_COLLECTION_REASON
+
+    config = _config()
+    walker_scalar, walker_native, miss_vas = _build_pair(
+        "native", "vanilla", config)
+    stats_scalar = replay_walks(walker_scalar, miss_vas,
+                                collect_steps=True, engine="scalar")
+    stats_native = replay_walks(walker_native, miss_vas,
+                                collect_steps=True, engine="native")
+    assert stats_native.engine == "native"
+    assert stats_native.fallback_reason == STEP_COLLECTION_REASON
+    assert stats_scalar == stats_native
+    assert stats_scalar.step_breakdown() == stats_native.step_breakdown()
+    assert _memsys_state(walker_scalar) == _memsys_state(walker_native)
 
 
 def test_replay_rejects_unknown_engine():
@@ -253,7 +324,7 @@ def test_run_group_reports_stage1_reuse_telemetry(tmp_path):
     assert [cell["stage1_reused"] for cell in cells] == [False, True]
     assert [cell["stage1_source"] for cell in cells] == ["computed", "memo"]
     assert cells[0]["stage1_seconds"] == cells[1]["stage1_seconds"] > 0.0
-    assert all(cell["walk_engine"] == "vec" for cell in cells)
+    assert all(cell["walk_engine"] == AUTO_ENGINE for cell in cells)
     assert all(cell["stage2_fallback_reason"] is None for cell in cells)
     # A rerun of the group (fresh Stage1Cache, as in a new worker or a
     # new process) serves stage 1 from the on-disk artifact cache.
