@@ -322,7 +322,7 @@ def main(argv=None) -> int:
 
     # handled before parsing (free-form paths); listed here for --help only
     sub.add_parser("lint", help="run dmtlint, the simulator-invariant "
-                                "static-analysis pass (rules L1-L4)")
+                                "static-analysis pass (rules L1-L6)")
 
     args = parser.parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep,

@@ -3,7 +3,7 @@
 A generic linter cannot know that virtual addresses must never enter the
 float domain, that the miss-replay path must be deterministic, or that a
 vectorized engine needs an oracle test for every public function. dmtlint
-encodes exactly those repository-specific conventions as four rule
+encodes exactly those repository-specific conventions as six rule
 families (run as ``python -m repro lint`` and in CI):
 
 * **L1 — integer address arithmetic**: VA/PA/VPN/PFN-valued expressions
@@ -18,16 +18,27 @@ families (run as ``python -m repro lint`` and in CI):
   comment (``§..``, ``Table ..``, ``Fig ..`` or ``DESIGN.md``).
 * **L4 — engine parity**: every public function of ``sim/tlb_vec.py``
   must be referenced by the oracle-equivalence test suite.
+* **L5 — address-domain dataflow**: an interprocedural pass
+  (:mod:`repro.analysis.lint.domains`) infers which address domain
+  (gva/gpa/hpa/vpn/pfn/frame/offset/cycles/bytes) every value lives in
+  — seeded from naming conventions and ``# dmtlint-domain:``
+  annotations — and flags cross-domain arithmetic (L501), arguments
+  contradicting the callee's parameter domain (L502), and returns
+  contradicting the function's declared domain (L503).
+* **L6 — kernel nopython purity**: every ``@jit``-decorated kernel in
+  ``sim/kernels/`` must stay inside the numba nopython-safe subset, so
+  JIT compile breakage is caught without numba installed.
 
 Violations can be locally waived with ``# dmtlint: ignore[L101]`` (or a
 bare ``# dmtlint: ignore``); fixture files opt into scoped rules with a
-``# dmtlint-scope: <scope>`` pragma. See DESIGN.md §7.
+``# dmtlint-scope: <scope>`` pragma. See DESIGN.md §7 and §12.
 """
 
 from repro.analysis.lint.engine import (
     ALL_RULES,
     FileContext,
     LintConfig,
+    ProgramRule,
     Violation,
     lint_file,
     lint_paths,
@@ -38,6 +49,7 @@ __all__ = [
     "ALL_RULES",
     "FileContext",
     "LintConfig",
+    "ProgramRule",
     "Violation",
     "lint_file",
     "lint_paths",

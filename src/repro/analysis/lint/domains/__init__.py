@@ -1,0 +1,26 @@
+"""Interprocedural address-domain dataflow (dmtlint rule family L5).
+
+DMT's machinery constantly converts between guest-virtual, guest-
+physical and host-physical addresses, page/frame numbers, byte offsets
+and cycle counts. Each is a distinct *domain*; confusing two (passing a
+GPA where an HPA is expected, adding a VPN to a frame number) produces
+plausible-looking integers and silently wrong simulations. This package
+makes domain membership a statically checked property:
+
+* :mod:`.lattice` — the domain lattice, compatibility spaces and
+  naming-convention seeding;
+* :mod:`.symbols` — whole-program symbol table, ``# dmtlint-domain:``
+  annotations, call-graph resolution;
+* :mod:`.transfer` — transfer functions over assignments, arithmetic,
+  calls and returns;
+* :mod:`.checker` — the interprocedural fixpoint and the
+  L501/L502/L503 reporting pass.
+
+See DESIGN.md §12 for the full write-up.
+"""
+
+from repro.analysis.lint.domains.checker import analyze_program  # noqa: F401
+from repro.analysis.lint.domains.lattice import (  # noqa: F401
+    DOMAINS,
+    seed_name,
+)

@@ -1,0 +1,63 @@
+"""The L5 program rule: interprocedural fixpoint + finding emission.
+
+Phase 1 (solve): every function is analyzed with the current summaries
+of its callees; any function whose inferred return domain changes marks
+the pass dirty. The lattice is flat and finite, so the fixpoint
+converges in at most a handful of passes (capped defensively).
+
+Phase 2 (report): one more pass per function — and one over each
+module's top-level statements — with reporting enabled, emitting
+L501/L502/L503 against the stabilized summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.lint.domains import lattice
+from repro.analysis.lint.domains.symbols import SymbolTable
+from repro.analysis.lint.domains.transfer import Finding, FunctionAnalyzer
+
+#: Defensive cap; the flat lattice converges in 2-3 passes in practice.
+MAX_PASSES = 8
+
+
+def solve(symtab: SymbolTable) -> None:
+    """Run summary inference to fixpoint over the call graph."""
+    for _ in range(MAX_PASSES):
+        changed = False
+        for minfo, info in symtab.iter_functions():
+            inferred = FunctionAnalyzer(symtab, minfo, info).run()
+            old = info.summary_return
+            new = lattice.join(old, inferred)
+            if new != old:
+                info.summary_return = new
+                changed = True
+        if not changed:
+            return
+
+
+def report(symtab: SymbolTable) -> List[Finding]:
+    """Final reporting pass; returns raw findings with file paths set."""
+    findings: List[Finding] = []
+    for minfo, info in symtab.iter_functions():
+        collected: List[Finding] = []
+        FunctionAnalyzer(symtab, minfo, info, report=collected).run()
+        for finding in collected:
+            finding.path = minfo.path
+        findings.extend(collected)
+    for minfo in symtab.modules.values():
+        collected = []
+        FunctionAnalyzer(symtab, minfo, None,
+                         report=collected).run_module(minfo.ctx.tree)
+        for finding in collected:
+            finding.path = minfo.path
+        findings.extend(collected)
+    return findings
+
+
+def analyze_program(contexts: Iterable) -> List[Finding]:
+    """Build the symbol table, solve, and report over ``contexts``."""
+    symtab = SymbolTable(contexts)
+    solve(symtab)
+    return report(symtab)

@@ -1,0 +1,193 @@
+r"""The address-domain lattice (rule family L5).
+
+Every value the simulator shuffles around lives in exactly one *domain*:
+a guest-virtual byte address is not a guest-physical one, a virtual page
+number is not a host frame number, and a cycle count is not a byte
+count. The lattice is flat — ``BOTTOM`` (no information, e.g. an int
+literal) below the nine concrete domains below ``TOP`` (conflicting or
+unknown provenance):
+
+::
+
+                         TOP ("unknown")
+      ___________________/ | \____________________
+     /    |    |    |    | | |    |       |       \
+    gva  gpa  hpa  vpn  pfn frame offset cycles  bytes
+     \____|____|____|____|_|_|____|_______|______/
+                         BOTTOM
+
+``pfn`` and ``frame`` both name host-physical frame numbers (the mem/
+layer says "frame", the translation layer says "pfn"), so they share a
+*space* and mix freely; every other concrete pair is distinct. Byte
+addresses may be offset by ``offset``/``bytes`` values; everything else
+only combines with its own space.
+
+Domains are seeded from naming conventions (:func:`seed_name`) and from
+explicit ``# dmtlint-domain: name=gpa`` annotations; transfer functions
+in :mod:`repro.analysis.lint.domains.transfer` propagate them through
+assignments, arithmetic, calls and returns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+# Concrete domains (the ISSUE-specified lattice elements).
+GVA = "gva"        # guest/program virtual byte address
+GPA = "gpa"        # guest-physical byte address
+HPA = "hpa"        # host-physical byte address
+VPN = "vpn"        # virtual page number
+PFN = "pfn"        # host-physical frame number (translation-layer name)
+FRAME = "frame"    # host-physical frame number (mem-layer name)
+OFFSET = "offset"  # byte offset within a page/region
+CYCLES = "cycles"  # simulated time
+BYTES = "bytes"    # byte sizes/lengths
+
+#: Lattice extremes. ``BOTTOM`` combines silently with anything (int
+#: literals, loop counters); ``TOP`` never triggers findings but also
+#: never lends a domain to a result.
+BOTTOM = "bottom"
+TOP = "unknown"
+
+DOMAINS = (GVA, GPA, HPA, VPN, PFN, FRAME, OFFSET, CYCLES, BYTES)
+
+#: Compatibility spaces: domains in the same space mix freely. pfn and
+#: frame are two names for host frame numbers (DESIGN.md §12.1).
+SPACE = {GVA: "gva", GPA: "gpa", HPA: "hpa", VPN: "vpn",
+         PFN: "hfn", FRAME: "hfn",
+         OFFSET: "offset", CYCLES: "cycles", BYTES: "bytes"}
+
+#: Byte-granular address domains: may be displaced by offset/bytes.
+BYTE_ADDR = frozenset({GVA, GPA, HPA})
+#: Page/frame-number domains: never mix with byte addresses.
+PAGE_NUM = frozenset({VPN, PFN, FRAME})
+#: Displacement domains: may be added to byte addresses.
+DISPLACEMENT = frozenset({OFFSET, BYTES})
+
+#: ``addr >> PAGE_SHIFT`` conversions: byte address -> page number.
+#: gpa has no page-number domain in the lattice, so it degrades to TOP.
+RSHIFT_TO = {GVA: VPN, HPA: PFN}
+#: ``page_number << PAGE_SHIFT`` conversions: page number -> byte address.
+LSHIFT_TO = {VPN: GVA, PFN: HPA, FRAME: HPA}
+
+#: Identifier tokens (underscore-split, lowercased) that seed a domain.
+#: Plain ``va`` is the guest/program virtual address throughout the
+#: simulator; plain ``pa``/``addr`` are ambiguous and stay unseeded.
+TOKEN_DOMAINS = {
+    "gva": GVA, "gvas": GVA, "va": GVA, "vas": GVA,
+    "gpa": GPA, "gpas": GPA,
+    "hpa": HPA, "hpas": HPA,
+    "vpn": VPN, "vpns": VPN,
+    "pfn": PFN, "pfns": PFN,
+    "frame": FRAME, "frames": FRAME,
+    "offset": OFFSET, "offsets": OFFSET,
+    "cycles": CYCLES,
+    "bytes": BYTES, "nbytes": BYTES,
+}
+
+
+def is_concrete(domain: str) -> bool:
+    return domain in SPACE
+
+
+def same_space(a: str, b: str) -> bool:
+    return SPACE.get(a) == SPACE.get(b) and a in SPACE
+
+
+def join(a: str, b: str) -> str:
+    """Least upper bound of two lattice elements."""
+    if a == BOTTOM:
+        return b
+    if b == BOTTOM:
+        return a
+    if same_space(a, b):
+        return a
+    return TOP
+
+
+def additive_compatible(a: str, b: str) -> bool:
+    """May ``a + b`` / ``a - b`` mix these two *concrete* domains?"""
+    if same_space(a, b):
+        return True
+    if (a in BYTE_ADDR and b in DISPLACEMENT) or \
+            (b in BYTE_ADDR and a in DISPLACEMENT):
+        return True
+    # size +/- offset arithmetic (tail = nbytes - offset)
+    return a in DISPLACEMENT and b in DISPLACEMENT
+
+
+def additive_result(a: str, b: str, subtraction: bool = False) -> str:
+    """Domain of ``a + b`` / ``a - b`` (after compatibility is checked).
+
+    Subtraction is dimensional: the difference of two byte addresses is
+    a byte *distance* (``bytes``), and the difference of two page/frame
+    numbers is a dimensionless count (``BOTTOM``) — this is what makes
+    the paper's Figure 7 register arithmetic
+    (``base_frame + ((va - va_start) >> shift)``) check cleanly.
+    """
+    if a == BOTTOM:
+        return b
+    if b == BOTTOM:
+        return a
+    if a == TOP or b == TOP:
+        return TOP
+    if a in BYTE_ADDR and b in DISPLACEMENT:
+        return a
+    if b in BYTE_ADDR and a in DISPLACEMENT:
+        return b
+    if same_space(a, b):
+        if subtraction and a in BYTE_ADDR:
+            return BYTES
+        if subtraction and a in PAGE_NUM:
+            return BOTTOM
+        return a
+    return TOP
+
+
+def compare_compatible(a: str, b: str) -> bool:
+    """May ``a < b`` (or any ordering/equality) compare these domains?
+
+    Byte addresses compare against sizes/offsets (bounds checks with a
+    zero base are idiomatic); page numbers, cycle counts and cross-space
+    addresses only compare within their own space.
+    """
+    if same_space(a, b):
+        return True
+    if (a in BYTE_ADDR and b in DISPLACEMENT) or \
+            (b in BYTE_ADDR and a in DISPLACEMENT):
+        return True
+    return a in DISPLACEMENT and b in DISPLACEMENT
+
+
+def seed_name(name: str) -> str:
+    """Domain seeded by an identifier's naming convention.
+
+    The identifier is split on underscores; exactly one domain token
+    seeds that domain (``base_frame`` -> frame, ``ws_bytes`` -> bytes).
+    Zero or several distinct domain tokens (``va_bytes``) seed nothing:
+    ambiguous names need a ``# dmtlint-domain:`` annotation.
+    """
+    domains = {TOKEN_DOMAINS[token]
+               for token in name.lower().split("_")
+               if token in TOKEN_DOMAINS}
+    if len(domains) == 1:
+        return next(iter(domains))
+    return BOTTOM
+
+
+def seed_callable_name(name: str) -> Optional[str]:
+    """Return-domain seeded by a *function* name, or None.
+
+    Two patterns: a trailing domain token (``gpa_to_hpa`` returns hpa)
+    and a leading domain token followed by ``for``/``of``
+    (``frame_for_table`` returns a frame). A leading token before
+    ``to`` is the *source* domain (``frame_to_addr``), so it seeds
+    nothing.
+    """
+    tokens = name.lower().split("_")
+    if tokens and tokens[-1] in TOKEN_DOMAINS:
+        return TOKEN_DOMAINS[tokens[-1]]
+    if len(tokens) >= 2 and tokens[0] in TOKEN_DOMAINS \
+            and tokens[1] in ("for", "of"):
+        return TOKEN_DOMAINS[tokens[0]]
+    return None

@@ -1,0 +1,288 @@
+"""Whole-program symbol table and call graph for the L5 domain pass.
+
+One :class:`SymbolTable` is built per lint invocation over every parsed
+file. It records a :class:`FunctionInfo` for each module-level function
+and class method (plus a synthesized constructor for ``@dataclass``
+classes), seeds parameter and return domains from naming conventions and
+``# dmtlint-domain:`` annotations, and resolves call sites:
+
+* ``f(...)`` — a name defined at this module's top level, or imported
+  via ``from <module> import f``;
+* ``self.m(...)`` — a method of the lexically enclosing class;
+* ``mod.f(...)`` — ``f`` in the module bound to ``mod`` by an import;
+* ``obj.m(...)`` — the method named ``m`` **only when exactly one class
+  in the whole program defines it** (a unique name is unambiguous; a
+  shared name like ``translate`` is skipped rather than guessed).
+
+Resolution is deliberately best-effort: an unresolved call contributes
+``TOP``/name-seeded information and can never produce a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.lint.domains import lattice
+from repro.analysis.lint.domains.lattice import BOTTOM, TOP
+
+#: ``# dmtlint-domain: va_end=gva, return=hpa`` — comma-separated
+#: ``name=domain`` pairs; ``return`` declares the return domain. The
+#: value ``any`` marks a name explicitly polymorphic (mapped to TOP):
+#: a page-table structure walked in whichever space it is keyed by.
+_DOMAIN_ANNOTATION_RE = re.compile(r"#\s*dmtlint-domain:\s*([a-zA-Z0-9_=, ]+)")
+_PAIR_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*=\s*([a-z]+)")
+
+
+class FunctionInfo:
+    """Summary of one function: parameter domains and return domain."""
+
+    def __init__(self, qualname: str, path: str, node: Optional[ast.AST],
+                 params: List[str], param_domains: Dict[str, str],
+                 declared_return: Optional[str],
+                 name_return: Optional[str],
+                 annotations: Dict[str, str],
+                 class_name: Optional[str] = None):
+        self.qualname = qualname
+        self.path = path
+        self.node = node
+        self.params = params                  # positional order, no self
+        self.param_domains = param_domains    # name -> concrete domain
+        self.declared_return = declared_return  # from an annotation comment
+        self.name_return = name_return        # from the function's name
+        self.annotations = annotations        # scope-local name overrides
+        self.class_name = class_name
+        #: Fixpoint-inferred join of the return expressions' domains.
+        self.summary_return: str = BOTTOM
+
+    def return_domain(self) -> str:
+        """The domain callers see: declared > inferred > name-seeded."""
+        if self.declared_return:
+            return self.declared_return
+        if lattice.is_concrete(self.summary_return):
+            return self.summary_return
+        if self.name_return:
+            return self.name_return
+        return TOP if self.summary_return == TOP else BOTTOM
+
+    def expected_return(self) -> Optional[str]:
+        """The domain L503 checks returns against (declared or name)."""
+        return self.declared_return or self.name_return
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionInfo({self.qualname})"
+
+
+def module_name(path) -> str:
+    """Dotted module name of ``path`` (``repro.core.tea``), best effort."""
+    parts = list(path.parts)
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[index:]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "module"
+
+
+def _parse_annotations(comments: Dict[int, str]) -> Dict[int, Dict[str, str]]:
+    """line -> {name: domain} for every ``dmtlint-domain`` comment."""
+    out: Dict[int, Dict[str, str]] = {}
+    for line, comment in comments.items():
+        match = _DOMAIN_ANNOTATION_RE.search(comment)
+        if not match:
+            continue
+        pairs = {}
+        for name, domain in _PAIR_RE.findall(match.group(1)):
+            if domain in lattice.SPACE:
+                pairs[name] = domain
+            elif domain in ("any", "unknown"):
+                pairs[name] = TOP
+        if pairs:
+            out[line] = pairs
+    return out
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.attr if isinstance(target, ast.Attribute) else \
+            getattr(target, "id", "")
+        if name == "dataclass":
+            return True
+    return False
+
+
+class ModuleInfo:
+    """Per-file symbol information."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.module = module_name(ctx.path)
+        self.path = str(ctx.path)
+        #: local binding -> dotted target ("sanitizer" ->
+        #: "repro.analysis.sanitizer", "TEA" -> "repro.core.tea.TEA").
+        self.imports: Dict[str, str] = {}
+        #: top-level function name -> qualname.
+        self.functions: Dict[str, str] = {}
+        #: class name -> {method name -> qualname}.
+        self.classes: Dict[str, Dict[str, str]] = {}
+        self.annotations = _parse_annotations(ctx.comments)
+
+    def annotations_in(self, lo: int, hi: int) -> Dict[str, str]:
+        merged: Dict[str, str] = {}
+        for line, pairs in self.annotations.items():
+            if lo <= line <= hi:
+                merged.update(pairs)
+        return merged
+
+
+class SymbolTable:
+    """Functions, methods and the (partial) call graph of the program."""
+
+    def __init__(self, contexts: Iterable):
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: method name -> [qualname, ...] across every class.
+        self.methods: Dict[str, List[str]] = {}
+        for ctx in contexts:
+            self._index_module(ctx)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def _index_module(self, ctx) -> None:
+        minfo = ModuleInfo(ctx)
+        self.modules[minfo.path] = minfo
+        for node in ast.iter_child_nodes(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    minfo.imports[alias.asname or alias.name.split(".")[0]] \
+                        = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    minfo.imports[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(minfo, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(minfo, node)
+
+    def _index_class(self, minfo: ModuleInfo, node: ast.ClassDef) -> None:
+        methods = minfo.classes.setdefault(node.name, {})
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._add_function(minfo, child, class_name=node.name)
+                methods[child.name] = info.qualname
+                self.methods.setdefault(child.name, []).append(info.qualname)
+        if _is_dataclass(node) and "__init__" not in methods:
+            self._add_dataclass_ctor(minfo, node)
+
+    def _add_function(self, minfo: ModuleInfo, node, class_name) -> FunctionInfo:
+        qualname = f"{minfo.module}.{class_name}.{node.name}" if class_name \
+            else f"{minfo.module}.{node.name}"
+        params = [a.arg for a in (node.args.posonlyargs + node.args.args)]
+        if class_name and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        first = min([node.lineno]
+                    + [d.lineno for d in node.decorator_list]) - 1
+        annotations = minfo.annotations_in(first, node.end_lineno or node.lineno)
+        kwonly = [a.arg for a in node.args.kwonlyargs]
+        param_domains: Dict[str, str] = {}
+        for name in params + kwonly:
+            domain = annotations.get(name) or lattice.seed_name(name)
+            if lattice.is_concrete(domain) or domain == TOP:
+                param_domains[name] = domain
+        info = FunctionInfo(
+            qualname, minfo.path, node, params, param_domains,
+            declared_return=annotations.get("return"),
+            name_return=lattice.seed_callable_name(node.name),
+            annotations=annotations, class_name=class_name,
+        )
+        if class_name is None:
+            minfo.functions[node.name] = qualname
+        self.functions[qualname] = info
+        return info
+
+    def _add_dataclass_ctor(self, minfo: ModuleInfo,
+                            node: ast.ClassDef) -> None:
+        """Synthesize ``Class(...)`` parameter domains from field order."""
+        params: List[str] = []
+        param_domains: Dict[str, str] = {}
+        annotations = minfo.annotations_in(node.lineno,
+                                           node.end_lineno or node.lineno)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.AnnAssign) and \
+                    isinstance(child.target, ast.Name):
+                name = child.target.id
+                params.append(name)
+                domain = annotations.get(name) or lattice.seed_name(name)
+                if lattice.is_concrete(domain) or domain == TOP:
+                    param_domains[name] = domain
+        qualname = f"{minfo.module}.{node.name}.__init__"
+        info = FunctionInfo(qualname, minfo.path, None, params, param_domains,
+                            declared_return=None, name_return=None,
+                            annotations=annotations, class_name=node.name)
+        minfo.classes.setdefault(node.name, {})["__init__"] = qualname
+        self.functions[qualname] = info
+
+    # ------------------------------------------------------------------ #
+    # Call resolution
+    # ------------------------------------------------------------------ #
+
+    def resolve_call(self, call: ast.Call, minfo: ModuleInfo,
+                     class_name: Optional[str]) -> Optional[FunctionInfo]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id, minfo)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(func, minfo, class_name)
+        return None
+
+    def _resolve_name(self, name: str, minfo: ModuleInfo) -> Optional[FunctionInfo]:
+        qual = minfo.functions.get(name)
+        if qual:
+            return self.functions.get(qual)
+        ctor = minfo.classes.get(name, {}).get("__init__")
+        if ctor:
+            return self.functions.get(ctor)
+        target = minfo.imports.get(name)
+        if target:
+            info = self.functions.get(target)
+            if info:
+                return info
+            # imported class -> its (synthesized) constructor
+            return self.functions.get(f"{target}.__init__")
+        return None
+
+    def _resolve_attribute(self, func: ast.Attribute, minfo: ModuleInfo,
+                           class_name: Optional[str]) -> Optional[FunctionInfo]:
+        attr = func.attr
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id in ("self", "cls") and class_name:
+                qual = minfo.classes.get(class_name, {}).get(attr)
+                if qual:
+                    return self.functions.get(qual)
+            target = minfo.imports.get(base.id)
+            if target:
+                info = self.functions.get(f"{target}.{attr}")
+                if info:
+                    return info
+        candidates = self.methods.get(attr, [])
+        if len(candidates) == 1:
+            return self.functions.get(candidates[0])
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def iter_functions(self) -> Iterable[Tuple[ModuleInfo, FunctionInfo]]:
+        for info in self.functions.values():
+            if info.node is not None:  # synthesized ctors have no body
+                yield self.modules[info.path], info

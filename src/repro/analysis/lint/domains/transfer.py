@@ -1,0 +1,409 @@
+"""Transfer functions: abstract interpretation of one function body.
+
+:class:`FunctionAnalyzer` runs a forward pass over a function's
+statements, tracking one domain per local name. It is deliberately
+simple — no CFG, branches are processed in source order, loops once —
+which over-approximates but is exactly the right precision for a lint:
+a finding needs two *concretely typed* operands, and concreteness only
+flows from names, annotations and resolved calls.
+
+The same analyzer runs twice per function: once per fixpoint iteration
+to infer return-domain summaries (``report=None``), and one final pass
+with ``report`` set, emitting:
+
+* **L501** — ``+``/``-``/``+=``/``-=``/ordering/equality over two
+  concrete domains from incompatible spaces;
+* **L502** — an argument whose inferred domain contradicts the resolved
+  callee's parameter domain;
+* **L503** — a ``return`` whose domain contradicts the function's
+  declared (``# dmtlint-domain: return=...``) or name-seeded domain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.analysis.lint.domains import lattice
+from repro.analysis.lint.domains.lattice import BOTTOM, TOP
+from repro.analysis.lint.domains.symbols import (
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+)
+
+#: Calls that return their first argument's domain unchanged.
+_PASS_THROUGH = frozenset({
+    "int", "abs", "np.int64", "numpy.int64", "np.uint64", "numpy.uint64",
+    "align_down", "align_up",
+})
+
+#: Calls whose result joins every argument's domain (min(va, end)...).
+_JOINING = frozenset({"min", "max"})
+
+#: Comparison operators L501 cares about (``in``/``is`` are structural).
+_ORDERED_CMP = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class Finding:
+    """One L5 finding, engine-agnostic (the checker wraps it)."""
+
+    def __init__(self, rule: str, node: ast.AST, message: str, evidence: str):
+        self.rule = rule
+        self.line = node.lineno
+        self.col = node.col_offset
+        self.message = message
+        self.evidence = evidence
+
+
+class FunctionAnalyzer:
+    """Abstract interpretation of one function (or module) body."""
+
+    def __init__(self, symtab: SymbolTable, minfo: ModuleInfo,
+                 info: Optional[FunctionInfo],
+                 report: Optional[List[Finding]] = None):
+        self.symtab = symtab
+        self.minfo = minfo
+        self.info = info
+        self.report = report
+        self.env: Dict[str, str] = {}
+        self.annotations: Dict[str, str] = {}
+        self.return_domain = BOTTOM
+        if info is not None:
+            self.annotations = dict(info.annotations)
+            self.env.update(info.param_domains)
+        # module-scope annotations apply everywhere in the file
+        module_annotations = minfo.annotations_in(0, 10 ** 9)
+        for name, domain in module_annotations.items():
+            self.annotations.setdefault(name, domain)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> str:
+        if self.info is not None and self.info.node is not None:
+            self._exec_block(self.info.node.body)
+        return self.return_domain
+
+    def run_module(self, tree: ast.Module) -> None:
+        body = [stmt for stmt in tree.body
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                         ast.ClassDef))]
+        self._exec_block(body)
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+
+    def _exec_block(self, stmts) -> None:
+        for stmt in stmts:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.AST) -> None:
+        if isinstance(stmt, ast.Assign):
+            domain = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, domain, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            domain = self.eval(stmt.value) if stmt.value is not None else BOTTOM
+            self._bind(stmt.target, domain, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            target_domain = self._load(stmt.target)
+            value_domain = self.eval(stmt.value)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                self._check_additive(stmt, target_domain, value_domain)
+                result = lattice.additive_result(
+                    target_domain, value_domain,
+                    subtraction=isinstance(stmt.op, ast.Sub))
+            else:
+                result = TOP if (target_domain, value_domain) != (BOTTOM, BOTTOM) \
+                    else BOTTOM
+            self._bind(stmt.target, result, stmt.value)
+        elif isinstance(stmt, ast.Return):
+            domain = self.eval(stmt.value) if stmt.value is not None else BOTTOM
+            self._check_return(stmt, domain)
+            self.return_domain = lattice.join(self.return_domain, domain)
+        elif isinstance(stmt, ast.For):
+            self._bind(stmt.target, self._element_domain(stmt.iter), stmt.iter)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.eval(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+        # nested defs/classes are not descended into: the symbol table
+        # only tracks module/class level functions.
+
+    def _bind(self, target: ast.AST, domain: str, value) -> None:
+        if isinstance(target, ast.Name):
+            if lattice.is_concrete(domain):
+                self.env[target.id] = domain
+            else:
+                # opaque RHS: fall back to the name's own seeding
+                seeded = self.annotations.get(target.id) or \
+                    lattice.seed_name(target.id)
+                if lattice.is_concrete(seeded):
+                    self.env[target.id] = seeded
+                else:
+                    self.env[target.id] = domain
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and \
+                    len(value.elts) == len(target.elts):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    self._bind(sub_target, self.eval(sub_value), sub_value)
+            else:
+                for sub_target in target.elts:
+                    self._bind(sub_target, BOTTOM, None)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # attribute/element domains always come from name seeding
+            self.eval(target.value)
+
+    def _element_domain(self, iterable: ast.AST) -> str:
+        if isinstance(iterable, ast.Call) and \
+                _dotted(iterable.func) in ("range", "reversed", "sorted"):
+            domain = BOTTOM
+            for arg in iterable.args:
+                domain = lattice.join(domain, self.eval(arg))
+            return domain
+        if isinstance(iterable, ast.Call) and \
+                _dotted(iterable.func) == "enumerate":
+            for arg in iterable.args:
+                self.eval(arg)
+            return BOTTOM
+        # an array/list of addresses yields addresses
+        return self.eval(iterable)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+
+    def _load(self, node: ast.AST) -> str:
+        """Domain of a name/attribute without re-reporting."""
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return self.annotations.get(node.id) or lattice.seed_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return self.annotations.get(node.attr) or \
+                lattice.seed_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            return self._load(node.value)
+        return BOTTOM
+
+    def eval(self, node: Optional[ast.AST]) -> str:
+        if node is None:
+            return BOTTOM
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            if isinstance(node, ast.Attribute):
+                self.eval(node.value)
+            return self._load(node)
+        if isinstance(node, ast.Constant):
+            return BOTTOM
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.Compare):
+            self._eval_compare(node)
+            return BOTTOM
+        if isinstance(node, (ast.BoolOp,)):
+            domain = BOTTOM
+            for value in node.values:
+                domain = lattice.join(domain, self.eval(value))
+            return domain
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return lattice.join(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Subscript):
+            domain = self.eval(node.value)
+            self.eval(node.slice)
+            return domain
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.eval(elt)
+            return BOTTOM
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                self.eval(key)
+            for value in node.values:
+                self.eval(value)
+            return BOTTOM
+        if isinstance(node, ast.Slice):
+            self.eval(node.lower)
+            self.eval(node.upper)
+            self.eval(node.step)
+            return BOTTOM
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            for gen in node.generators:
+                self._bind(gen.target, self._element_domain(gen.iter), gen.iter)
+                for cond in gen.ifs:
+                    self.eval(cond)
+            if isinstance(node, ast.DictComp):
+                self.eval(node.key)
+                self.eval(node.value)
+            else:
+                self.eval(node.elt)
+            return BOTTOM
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+            return BOTTOM
+        if isinstance(node, ast.Lambda):
+            return TOP
+        # anything else: evaluate children for reporting, value unknown
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return TOP
+
+    def _eval_binop(self, node: ast.BinOp) -> str:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_additive(node, left, right)
+            return lattice.additive_result(
+                left, right, subtraction=isinstance(node.op, ast.Sub))
+        if isinstance(node.op, ast.RShift):
+            if left == BOTTOM:
+                return BOTTOM
+            return lattice.RSHIFT_TO.get(left, TOP)
+        if isinstance(node.op, ast.LShift):
+            if left == BOTTOM:
+                return BOTTOM
+            return lattice.LSHIFT_TO.get(left, TOP)
+        # &, |, ^, %, *, /, //, **: domain-destroying (masking an address
+        # or scaling an index yields a value we refuse to guess about)
+        if left == BOTTOM and right == BOTTOM:
+            return BOTTOM
+        return TOP
+
+    def _eval_compare(self, node: ast.Compare) -> None:
+        left_node = node.left
+        left = self.eval(left_node)
+        for op, comparator in zip(node.ops, node.comparators):
+            right = self.eval(comparator)
+            if isinstance(op, _ORDERED_CMP) and lattice.is_concrete(left) \
+                    and lattice.is_concrete(right) \
+                    and not lattice.compare_compatible(left, right):
+                self._emit("L501", node,
+                           f"comparison mixes address domains "
+                           f"{left} and {right}",
+                           f"left={left} right={right}")
+            left = right
+
+    def _check_additive(self, node: ast.AST, left: str, right: str) -> None:
+        if lattice.is_concrete(left) and lattice.is_concrete(right) \
+                and not lattice.additive_compatible(left, right):
+            self._emit("L501", node,
+                       f"arithmetic mixes address domains {left} and {right}",
+                       f"left={left} right={right}")
+
+    def _check_return(self, node: ast.Return, domain: str) -> None:
+        if self.info is None:
+            return
+        expected = self.info.expected_return()
+        if expected and lattice.is_concrete(expected) \
+                and lattice.is_concrete(domain) \
+                and not lattice.same_space(domain, expected):
+            self._emit("L503", node,
+                       f"returns {domain} but "
+                       f"'{self.info.qualname.rsplit('.', 1)[-1]}' is "
+                       f"declared/seeded to return {expected}",
+                       f"declared={expected} returned={domain}")
+
+    # ------------------------------------------------------------------ #
+    # Calls
+    # ------------------------------------------------------------------ #
+
+    def _eval_call(self, node: ast.Call) -> str:
+        dotted = _dotted(node.func)
+        arg_domains = [self.eval(arg) for arg in node.args]
+        for kw in node.keywords:
+            self.eval(kw.value)
+        if isinstance(node.func, (ast.Subscript, ast.Call, ast.Lambda)):
+            self.eval(node.func)
+        name = dotted.rpartition(".")[2]
+        if dotted in _PASS_THROUGH or name in _PASS_THROUGH:
+            return arg_domains[0] if arg_domains else BOTTOM
+        if name in _JOINING:
+            domain = BOTTOM
+            for arg_domain in arg_domains:
+                domain = lattice.join(domain, arg_domain)
+            return domain
+        class_name = self.info.class_name if self.info else None
+        callee = self.symtab.resolve_call(node, self.minfo, class_name)
+        if callee is None:
+            seeded = lattice.seed_callable_name(name) if name else None
+            return seeded or TOP
+        self._check_args(node, callee, arg_domains)
+        return callee.return_domain()
+
+    def _check_args(self, node: ast.Call, callee: FunctionInfo,
+                    arg_domains: List[str]) -> None:
+        short = callee.qualname.rsplit(".", 2)
+        short = ".".join(short[-2:]) if callee.class_name else short[-1]
+        for position, domain in enumerate(arg_domains):
+            if position >= len(callee.params):
+                break
+            if isinstance(node.args[position], ast.Starred):
+                break
+            param = callee.params[position]
+            expected = callee.param_domains.get(param)
+            if expected and lattice.is_concrete(expected) \
+                    and lattice.is_concrete(domain) \
+                    and not lattice.same_space(domain, expected):
+                self._emit("L502", node,
+                           f"argument {position + 1} to {short}() is {domain} "
+                           f"but parameter '{param}' expects {expected}",
+                           f"arg={domain} param={param}:{expected}")
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            expected = callee.param_domains.get(kw.arg)
+            domain = self._load(kw.value) if isinstance(
+                kw.value, (ast.Name, ast.Attribute, ast.Subscript)) else BOTTOM
+            if expected and lattice.is_concrete(expected) \
+                    and lattice.is_concrete(domain) \
+                    and not lattice.same_space(domain, expected):
+                self._emit("L502", node,
+                           f"keyword '{kw.arg}' to {short}() is {domain} "
+                           f"but the parameter expects {expected}",
+                           f"arg={domain} param={kw.arg}:{expected}")
+
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, rule: str, node: ast.AST, message: str,
+              evidence: str) -> None:
+        if self.report is not None:
+            self.report.append(Finding(rule, node, message, evidence))

@@ -75,6 +75,9 @@ class Violation:
     line: int
     col: int
     message: str
+    #: Machine-readable supporting facts (L5 domain evidence like
+    #: ``left=gpa right=hpa``, L6 kernel names); None for L1-L4.
+    evidence: Optional[str] = None
 
     @property
     def family(self) -> str:
@@ -83,9 +86,15 @@ class Violation:
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotation for this finding."""
+        return (f"::error file={self.path},line={self.line},"
+                f"col={self.col},title=dmtlint {self.rule}::{self.message}")
+
     def as_dict(self) -> Dict[str, object]:
         return {"rule": self.rule, "path": self.path, "line": self.line,
-                "col": self.col, "message": self.message}
+                "col": self.col, "message": self.message,
+                "evidence": self.evidence}
 
 
 @dataclass
@@ -231,15 +240,49 @@ class Rule:
         raise NotImplementedError
 
 
+class ProgramRule:
+    """A whole-program rule: sees every parsed file at once.
+
+    Program rules run after the per-file rules, over the full list of
+    :class:`FileContext` objects of the invocation — this is how the L5
+    address-domain pass builds its cross-file symbol table and call
+    graph. Findings are attributed back to individual files and go
+    through the same pragma/ignore suppression as per-file findings.
+    """
+
+    family = "L0"
+
+    def check_program(self, contexts: Sequence[FileContext]
+                      ) -> Iterable[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class L5AddressDomains(ProgramRule):
+    """Interprocedural address-domain dataflow (L501/L502/L503)."""
+
+    family = "L5"
+
+    def check_program(self, contexts: Sequence[FileContext]
+                      ) -> Iterable[Violation]:
+        from repro.analysis.lint.domains import analyze_program
+
+        for finding in analyze_program(contexts):
+            yield Violation(finding.rule, finding.path, finding.line,
+                            finding.col, finding.message,
+                            evidence=finding.evidence)
+
+
 def _registry() -> List[Rule]:
     from repro.analysis.lint.provenance import L3Provenance, L4EngineParity
+    from repro.analysis.lint.purity import L6KernelPurity
     from repro.analysis.lint.rules import L1AddressArithmetic, L2Determinism
 
     return [L1AddressArithmetic(), L2Determinism(), L3Provenance(),
-            L4EngineParity()]
+            L4EngineParity(), L6KernelPurity()]
 
 
 ALL_RULES: List[Rule] = []
+PROGRAM_RULES: List[ProgramRule] = []
 
 
 def _rules() -> List[Rule]:
@@ -248,9 +291,41 @@ def _rules() -> List[Rule]:
     return ALL_RULES
 
 
+def _program_rules() -> List[ProgramRule]:
+    if not PROGRAM_RULES:
+        PROGRAM_RULES.append(L5AddressDomains())
+    return PROGRAM_RULES
+
+
+def _check_contexts(contexts: Sequence[FileContext],
+                    config: LintConfig) -> List[Violation]:
+    """Per-file rules on each context, then program rules across all."""
+    findings: List[Violation] = []
+    for ctx in contexts:
+        for rule in _rules():
+            if not config.family_selected(rule.family):
+                continue
+            if rule.scope is not None and rule.scope not in ctx.scopes:
+                continue
+            findings.extend(v for v in rule.check(ctx)
+                            if config.selected(v.rule)
+                            and not ctx.suppressed(v))
+    by_path = {str(ctx.path): ctx for ctx in contexts}
+    for rule in _program_rules():
+        if not config.family_selected(rule.family):
+            continue
+        for violation in rule.check_program(contexts):
+            ctx = by_path.get(violation.path)
+            if config.selected(violation.rule) and \
+                    (ctx is None or not ctx.suppressed(violation)):
+                findings.append(violation)
+    findings.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return findings
+
+
 def lint_file(path: Path, config: Optional[LintConfig] = None,
               source: Optional[str] = None) -> List[Violation]:
-    """Lint one file; returns unsuppressed violations sorted by line."""
+    """Lint one file (program rules see a one-file program)."""
     config = config or LintConfig()
     if source is None:
         source = path.read_text(encoding="utf-8")
@@ -259,16 +334,7 @@ def lint_file(path: Path, config: Optional[LintConfig] = None,
     except SyntaxError as exc:
         return [Violation("L000", str(path), exc.lineno or 1, exc.offset or 0,
                           f"syntax error: {exc.msg}")]
-    findings: List[Violation] = []
-    for rule in _rules():
-        if not config.family_selected(rule.family):
-            continue
-        if rule.scope is not None and rule.scope not in ctx.scopes:
-            continue
-        findings.extend(v for v in rule.check(ctx)
-                        if config.selected(v.rule) and not ctx.suppressed(v))
-    findings.sort(key=lambda v: (v.line, v.col, v.rule))
-    return findings
+    return _check_contexts([ctx], config)
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
@@ -281,13 +347,24 @@ def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
 
 def lint_paths(paths: Sequence[Path],
                config: Optional[LintConfig] = None) -> List[Violation]:
-    """Lint every ``*.py`` under ``paths``."""
+    """Lint every ``*.py`` under ``paths`` as one program."""
     config = config or LintConfig()
     if config.tests_dir is None:
         config.tests_dir = _find_tests_dir(paths)
-    violations: List[Violation] = []
+    contexts: List[FileContext] = []
+    errors: List[Violation] = []
     for file_path in iter_python_files(paths):
-        violations.extend(lint_file(file_path, config))
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            contexts.append(FileContext(file_path, source, config))
+        except SyntaxError as exc:
+            errors.append(Violation("L000", str(file_path), exc.lineno or 1,
+                                    exc.offset or 0,
+                                    f"syntax error: {exc.msg}"))
+        except OSError:
+            continue
+    violations = errors + _check_contexts(contexts, config)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return violations
 
 
@@ -313,16 +390,23 @@ def _find_tests_dir(paths: Sequence[Path]) -> Optional[Path]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
-        description="dmtlint: simulator-invariant static analysis (L1-L4)",
+        description="dmtlint: simulator-invariant static analysis (L1-L6)",
     )
     parser.add_argument("paths", nargs="*",
                         help="files/directories to lint (default: the "
                              "repro package sources)")
     parser.add_argument("--rules", default="",
                         help="comma-separated rule families or ids "
-                             "(e.g. L1,L3 or L103); default: all")
+                             "(e.g. L1,L5 or L103); default: all")
     parser.add_argument("--json", action="store_true",
-                        help="emit findings as a JSON array")
+                        help="emit findings as one indented JSON array "
+                             "(legacy; see --format json for JSON lines)")
+    parser.add_argument("--format", dest="format",
+                        choices=("text", "json", "github"), default="text",
+                        help="output format: 'text' (default), 'json' (one "
+                             "finding object per line: rule, path, line, "
+                             "col, message, evidence), 'github' (GitHub "
+                             "Actions ::error annotations)")
     parser.add_argument("--tests-dir", default=None,
                         help="oracle-test corpus directory for L4 "
                              "(default: auto-detected tests/)")
@@ -342,9 +426,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     violations = lint_paths(paths, config)
     if args.json:
         print(json.dumps([v.as_dict() for v in violations], indent=2))
+    elif args.format == "json":
+        for violation in violations:
+            print(json.dumps(violation.as_dict(), sort_keys=True))
     else:
         for violation in violations:
-            print(violation.render())
+            print(violation.render_github() if args.format == "github"
+                  else violation.render())
         files = len(list(iter_python_files(paths)))
         print(f"dmtlint: {len(violations)} violation(s) in {files} file(s)"
               f"{'' if violations else ' — clean'}")

@@ -94,6 +94,7 @@ class DMTFetcher:
     # Native translation: one reference (§3, Figure 7)
     # ------------------------------------------------------------------ #
 
+    # dmtlint-domain: va=any -- the host dimension feeds gPAs through this path
     def translate_native(
         self,
         va: int,
@@ -115,6 +116,7 @@ class DMTFetcher:
         pa = (pte_frame(pte) << PAGE_SHIFT) + (va & (size.bytes - 1))
         return FetchResult(pa=pa, page_size=size, references=1)
 
+    # dmtlint-domain: va=any -- the host dimension feeds gPAs through this path
     def _peek_native(self, va: int, read_pte: ReadPTE,
                      which: RegisterSet) -> Optional[int]:
         """Resolve ``va`` through a register set *without* charging fetches.

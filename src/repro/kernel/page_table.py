@@ -134,6 +134,7 @@ class RadixPageTable:
             self._tables[(level, self._table_key(va, level))] = frame
         return frame
 
+    # dmtlint-domain: va=any -- the EPT is this same structure keyed by gPA
     def table_frame(self, va: int, level: int) -> Optional[int]:
         """Frame of the level-``level`` table covering ``va`` (root for top)."""
         if level == self.levels:
@@ -258,6 +259,7 @@ class RadixPageTable:
     # Hardware-walk enumeration
     # ------------------------------------------------------------------ #
 
+    # dmtlint-domain: va=any -- host walkers enumerate EPT steps over gPAs
     def walk_steps(self, va: int) -> List[WalkStep]:
         """The ordered PTE fetches a hardware walker performs for ``va``.
 

@@ -624,6 +624,7 @@ def _build_dmt_plans(spec: BatchSpec, uniq_vpns: List[int], collect: bool):
     return plans, fallback_vpns
 
 
+# dmtlint-domain: va=any -- plans probes for guest (gVA) and host (gPA) ECPTs
 def _plan_ecpt_probe_step(ecpt, va: int, tag: str, collect: bool):
     """One ECPT probe step compiled to a CWC-probe op (opcode 4).
 

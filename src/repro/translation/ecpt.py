@@ -367,6 +367,7 @@ class ElasticCuckooPageTables:
                 return (pte_frame(pte) << PAGE_SHIFT) + (va & (size.bytes - 1)), size
         return None
 
+    # dmtlint-domain: va=any -- the host ECPT hashes gPAs into the same ways
     def candidate_probes(self, va: int) -> List[Tuple[int, PageSize, int]]:
         """All (PTE word addr, page size, vpn) probed in parallel for ``va``."""
         probes = []
@@ -395,6 +396,7 @@ class ElasticCuckooPageTables:
         return sum(t.table_bytes() for t in self.tables.values())
 
 
+# dmtlint-domain: va=any -- probes both guest (gVA) and host (gPA) ECPTs
 def _probe_step(ecpt: "ElasticCuckooPageTables", va: int,
                 rec: WalkRecorder, tag: str) -> None:
     """One probe step of an ECPT lookup.

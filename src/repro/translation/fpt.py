@@ -56,6 +56,7 @@ class FlattenedPageTable:
 
     # -- index arithmetic ---------------------------------------------- #
 
+    # dmtlint-domain: va=any -- the host FPT indexes this table by gPA
     @staticmethod
     def upper_index(va: int) -> int:
         return (va >> int(PageSize.SIZE_1G)) & (_FLAT_ENTRIES - 1)   # VA[47:30]
@@ -64,15 +65,18 @@ class FlattenedPageTable:
     def lower_index(va: int) -> int:
         return (va >> PAGE_SHIFT) & (_FLAT_ENTRIES - 1)   # VA[29:12]
 
+    # dmtlint-domain: va=any -- the host FPT resolves gPAs through here
     def root_entry_addr(self, va: int) -> int:
         return frame_to_addr(self.root_frame) + self.upper_index(va) * 8
 
+    # dmtlint-domain: va=any -- the host FPT resolves gPAs through here
     def leaf_entry_addr(self, leaf_frame: int, va: int,
                         page_size: PageSize = PageSize.SIZE_4K) -> int:
         if page_size == PageSize.SIZE_2M:
             raise ValueError("huge entries live in the dense huge table")
         return frame_to_addr(leaf_frame) + self.lower_index(va) * 8
 
+    # dmtlint-domain: va=any -- the host FPT resolves gPAs through here
     def huge_entry_addr(self, huge_frame: int, va: int) -> int:
         """Entry address in the dense per-region 2 MB table (VA[29:21])."""
         return frame_to_addr(huge_frame) + level_index(va, 2) * PTE_SIZE
@@ -88,6 +92,7 @@ class FlattenedPageTable:
             self.memory.write_word(self.root_entry_addr(va), make_pte(frame))
         return frame
 
+    # dmtlint-domain: va=any -- the host FPT resolves gPAs through here
     def _huge_for(self, va: int, create: bool) -> Optional[int]:
         index = self.upper_index(va)
         frame = self._huge_tables.get(index)

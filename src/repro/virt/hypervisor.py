@@ -135,6 +135,7 @@ class VM:
                     self._reverse[hfn] = gpa >> PAGE_SHIFT
                 gpa += PAGE_SIZE
 
+    # dmtlint-domain: return=gpa -- takes host frames, returns the base gPA
     def map_host_frames(self, host_frame: int, npages: int) -> int:
         """Map ``npages`` host frames into fresh guest-physical space.
 

@@ -1,0 +1,12 @@
+"""Planted bug for rule L502: argument contradicts the parameter domain.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+def _lookup(hpa):
+    return hpa + 8
+
+
+def probe(gpa):
+    return _lookup(gpa)  # planted L502: gPA handed to an hPA parameter

@@ -1,0 +1,17 @@
+"""Planted bugs for rule L501: arithmetic across address domains.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+def span(gva, gpa):
+    return gva + gpa  # planted L501: guest-virtual plus guest-physical
+
+
+def deadline(vpn, cycles):
+    return vpn < cycles  # planted L501: page number compared to time
+
+
+def packed_key(vpn, cycles):
+    # waived: packed (vpn, cycles) LRU key, split again on read
+    return vpn + cycles  # dmtlint: ignore[L501]

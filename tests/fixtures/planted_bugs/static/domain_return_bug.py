@@ -1,0 +1,9 @@
+"""Planted bug for rule L503: return contradicts the declared domain.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+# dmtlint-domain: return=hpa
+def _resolve(vpn):
+    return vpn  # planted L503: declared to return an hPA, returns a VPN

@@ -1,0 +1,17 @@
+# dmtlint-scope: kernels
+"""Planted bugs for rule L607: calls outside the kernel whitelist.
+
+Never imported — lint test data only (see ../README.md).
+"""
+import numpy as np
+
+
+def _jit(fn):
+    return fn
+
+
+@_jit
+def _smooth_rows(values, n):
+    total = np.sum(values)  # planted L607: np.sum is not whitelisted
+    values.sort()  # planted L607: method calls are outside the whitelist
+    return total + n

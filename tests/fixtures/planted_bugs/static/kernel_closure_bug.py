@@ -1,0 +1,17 @@
+# dmtlint-scope: kernels
+"""Planted bug for rule L602: a closure inside a jit kernel.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+def _jit(fn):
+    return fn
+
+
+@_jit
+def _scan_rows(values, n):
+    def _bump(x):  # planted L602: nested functions do not compile
+        return x + 1
+
+    return values[0] + n

@@ -1,0 +1,18 @@
+# dmtlint-scope: kernels
+"""Planted bug for rule L601: dict construction inside a jit kernel.
+
+``@_jit`` is the fixture stand-in for ``repro.sim.kernels.backend.jit``.
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+def _jit(fn):
+    return fn
+
+
+@_jit
+def _index_rows(keys, n):
+    seen = {}  # planted L601: dicts are unsupported in nopython mode
+    for i in range(n):
+        seen[keys[i]] = i
+    return seen

@@ -1,0 +1,16 @@
+# dmtlint-scope: kernels
+"""Planted bugs for rule L604: string formatting inside a jit kernel.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+def _jit(fn):
+    return fn
+
+
+@_jit
+def _label_row(code):
+    text = f"code={code}"  # planted L604: f-strings do not compile
+    tag = "row-%d" % code  # planted L604: %-formatting does not compile
+    return text, tag

@@ -1,0 +1,16 @@
+# dmtlint-scope: kernels
+"""Planted bug for rule L605: a reflected list inside a jit kernel.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+def _jit(fn):
+    return fn
+
+
+@_jit
+def _triple(n):
+    out = [0, 0, 0]  # planted L605: preallocate an ndarray instead
+    out[0] = n
+    return out

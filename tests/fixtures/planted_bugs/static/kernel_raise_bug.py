@@ -1,0 +1,18 @@
+# dmtlint-scope: kernels
+"""Planted bugs for rule L606: exception handling beyond the subset.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+def _jit(fn):
+    return fn
+
+
+@_jit
+def _guard_row(code):
+    if code < 0:
+        raise KeyError("negative")  # planted L606: not a whitelisted class
+    if code > 64:
+        raise ValueError(code)  # planted L606: non-constant argument
+    return code

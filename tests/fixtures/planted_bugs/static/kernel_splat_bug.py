@@ -1,0 +1,19 @@
+# dmtlint-scope: kernels
+"""Planted bugs for rule L603: variadic signatures and call splatting.
+
+Never imported — lint test data only (see ../README.md).
+"""
+
+
+def _jit(fn):
+    return fn
+
+
+@_jit
+def _pair_sum(a, b):
+    return a + b
+
+
+@_jit
+def _fanout(values, *more):  # planted L603: *args in a kernel signature
+    return _pair_sum(*values)  # planted L603: star splatting at a call

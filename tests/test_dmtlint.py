@@ -20,6 +20,16 @@ EXPECTED = {
     "uncited_cost_bug.py": {"L301"},
     "unreferenced_vec_bug.py": {"L401"},
     "undeclared_kernel_bug.py": {"L402"},
+    "domain_mix_bug.py": {"L501"},
+    "domain_call_bug.py": {"L502"},
+    "domain_return_bug.py": {"L503"},
+    "kernel_dict_bug.py": {"L601"},
+    "kernel_closure_bug.py": {"L602"},
+    "kernel_splat_bug.py": {"L603"},
+    "kernel_format_bug.py": {"L604"},
+    "kernel_list_bug.py": {"L605"},
+    "kernel_raise_bug.py": {"L606"},
+    "kernel_call_bug.py": {"L607"},
 }
 
 
@@ -102,6 +112,92 @@ def test_l4_skipped_without_a_corpus(tmp_path):
 
 
 # --------------------------------------------------------------------- #
+# L5 address-domain dataflow
+# --------------------------------------------------------------------- #
+
+def test_l501_flags_cross_domain_addition_inline():
+    source = "def f(gva, gpa):\n    return gva + gpa\n"
+    violations = lint_file(Path("inline.py"), source=source)
+    assert [v.rule for v in violations] == ["L501"]
+    assert violations[0].evidence == "left=gva right=gpa"
+
+
+def test_l501_allows_page_offset_and_frame_arithmetic():
+    # Figure 7 register arithmetic: all of this is domain-correct.
+    source = (
+        "def f(va, va_start, base_frame, shift, nbytes):\n"
+        "    granule = (va - va_start) >> shift\n"
+        "    frame = base_frame + granule\n"
+        "    tail = nbytes - (va - va_start)\n"
+        "    return frame, tail\n"
+    )
+    assert not lint_file(Path("inline.py"), source=source)
+
+
+def test_l502_crosses_call_graph_through_returns():
+    # gpa_of_page() returns a gpa (name-seeded); feeding it to an
+    # hpa parameter two calls later is caught interprocedurally.
+    source = (
+        "def gpa_of_page(page):\n"
+        "    return page << 12\n"
+        "def _read(hpa):\n"
+        "    return hpa + 8\n"
+        "def walk(page):\n"
+        "    return _read(gpa_of_page(page))\n"
+    )
+    violations = lint_file(Path("inline.py"), source=source)
+    assert [v.rule for v in violations] == ["L502"]
+
+
+def test_domain_annotation_any_marks_polymorphic_params():
+    source = (
+        "# dmtlint-domain: va=any -- keyed by either space\n"
+        "def _probe(va):\n"
+        "    return va + 8\n"
+        "def host_walk(gpa):\n"
+        "    return _probe(gpa)\n"
+    )
+    assert not lint_file(Path("inline.py"), source=source)
+
+
+def test_domain_annotation_overrides_name_seeding():
+    source = (
+        "# dmtlint-domain: return=gpa\n"
+        "def map_host_frames(n):\n"
+        "    return n\n"
+        "def _fill(gpa):\n"
+        "    return gpa\n"
+        "def serve(n):\n"
+        "    return _fill(map_host_frames(n))\n"
+    )
+    assert not lint_file(Path("inline.py"), source=source)
+
+
+def test_l501_waivable_with_targeted_ignore():
+    source = "def f(vpn, cycles):\n" \
+             "    return vpn + cycles  # dmtlint: ignore[L501]\n"
+    assert not lint_file(Path("inline.py"), source=source)
+
+
+def test_l6_flags_dict_kernel_without_numba(tmp_path):
+    # acceptance criterion: a kernel edited to use a dict is flagged
+    # statically, numba not required
+    kernels = tmp_path / "sim" / "kernels"
+    kernels.mkdir(parents=True)
+    kernel = kernels / "broken.py"
+    kernel.write_text(
+        "from repro.sim.kernels.backend import jit\n\n\n"
+        "@jit\ndef _lut(keys, n):\n"
+        "    table = {}\n"
+        "    for i in range(n):\n"
+        "        table[keys[i]] = i\n"
+        "    return table\n",
+        encoding="utf-8",
+    )
+    assert rules_of(kernel) == {"L601"}
+
+
+# --------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------- #
 
@@ -118,6 +214,26 @@ def test_cli_json_output(capsys):
     findings = json.loads(capsys.readouterr().out)
     assert [f["rule"] for f in findings] == ["L301"]
     assert findings[0]["path"].endswith("uncited_cost_bug.py")
+
+
+def test_cli_format_json_is_one_finding_per_line(capsys):
+    assert main([str(STATIC / "domain_call_bug.py"),
+                 "--format", "json"]) == 1
+    lines = capsys.readouterr().out.strip().splitlines()
+    findings = [json.loads(line) for line in lines]  # round-trips
+    assert [f["rule"] for f in findings] == ["L502"]
+    record = findings[0]
+    assert set(record) >= {"rule", "path", "line", "col", "message",
+                           "evidence"}
+    assert record["evidence"] == "arg=gpa param=hpa:hpa"
+
+
+def test_cli_format_github_emits_error_annotations(capsys):
+    assert main([str(STATIC / "domain_return_bug.py"),
+                 "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "title=dmtlint L503" in out
 
 
 def test_cli_missing_path(capsys):
