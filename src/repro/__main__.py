@@ -55,7 +55,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                        thp=args.thp, levels=args.levels,
                        register_count=args.register_count,
                        engine=args.engine, walk_engine=args.walk_engine,
-                       sanitize=args.sanitize)
+                       sanitize=args.sanitize,
+                       stream_chunk=args.stream_chunk)
     stage1 = None
     if args.artifact_cache and not args.no_artifact_cache:
         from repro.sim.artifacts import ArtifactCache
@@ -143,6 +144,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             scale=args.scale, nrefs=args.nrefs, seed=args.seed,
             levels=args.levels, register_count=args.register_count,
             walk_engine=args.walk_engine, sanitize=args.sanitize,
+            stream_chunk=args.stream_chunk,
         )
     except KeyError as error:
         # unknown design: no swept environment provides it
@@ -184,6 +186,8 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         latency_tolerance=args.latency_tolerance,
         trajectory_path=None if args.no_trajectory else args.trajectory,
+        stream_path=args.stream_bench,
+        baseline_stream_path=args.baseline_stream_bench,
     )
 
 
@@ -239,6 +243,13 @@ def main(argv=None) -> int:
                               "reference oracle, 'auto' picks native "
                               "when compiled, else vec, when the design "
                               "supports it (default)")
+    simopts.add_argument("--stream-chunk", type=int, default=None,
+                         metavar="REFS",
+                         help="stream stage 0->1 in chunks of this many "
+                              "references (constant memory, bit-identical "
+                              "results); 0 forces the monolithic path; "
+                              "default: auto-stream above "
+                              "8M references")
     simopts.add_argument("--sanitize", action="store_true",
                          help="enable the runtime translation sanitizer "
                               "(invariant checks on TEAs, PTEs, TLB/PWC "
@@ -290,6 +301,8 @@ def main(argv=None) -> int:
         DEFAULT_BENCH,
         DEFAULT_BENCH_BASELINE,
         DEFAULT_LATENCY_TOLERANCE,
+        DEFAULT_STREAM_BASELINE,
+        DEFAULT_STREAM_BENCH,
         DEFAULT_SWEEP_BASELINE,
         DEFAULT_TOLERANCE,
         DEFAULT_TRAJECTORY,
@@ -300,6 +313,14 @@ def main(argv=None) -> int:
     regress.add_argument("--baseline-bench", default=DEFAULT_BENCH_BASELINE,
                          help="archived engine-bench baseline "
                               f"(default {DEFAULT_BENCH_BASELINE})")
+    regress.add_argument("--stream-bench", default=DEFAULT_STREAM_BENCH,
+                         help="current streaming stage-1 bench (default "
+                              f"{DEFAULT_STREAM_BENCH}; skipped when "
+                              "absent)")
+    regress.add_argument("--baseline-stream-bench",
+                         default=DEFAULT_STREAM_BASELINE,
+                         help="archived streaming stage-1 baseline "
+                              f"(default {DEFAULT_STREAM_BASELINE})")
     regress.add_argument("--sweep", default=None,
                          help="current sweep document to compare "
                               "(default: bench only)")
@@ -322,7 +343,7 @@ def main(argv=None) -> int:
 
     # handled before parsing (free-form paths); listed here for --help only
     sub.add_parser("lint", help="run dmtlint, the simulator-invariant "
-                                "static-analysis pass (rules L1-L6)")
+                                "static-analysis pass (rules L1-L7)")
 
     args = parser.parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep,

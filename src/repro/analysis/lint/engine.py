@@ -23,6 +23,11 @@ Scopes
     Files under ``sim/kernels/`` (which also carry ``vec``) — every
     public kernel must *declare* its scalar-oracle counterpart with an
     ``Oracle:`` line in its docstring (rule L402).
+``streaming``
+    The stage-0→1 streaming path (``sim/tlb_vec.py``, ``sim/machine.py``,
+    ``sim/artifacts.py``, ``workloads/base.py``,
+    ``workloads/generators.py``) — chunk iterators must not be
+    materialized back into whole-trace arrays (rule L7).
 
 A file can opt into scopes explicitly with a pragma in its first lines::
 
@@ -64,6 +69,11 @@ VEC_FILES = (("sim", "tlb_vec.py"), ("sim", "walk_vec.py"),
 #: oracle-test requirement) plus ``kernels`` (L402's declared-oracle
 #: requirement).
 KERNELS_DIR = ("sim", "kernels")
+#: (parent dir, file name) pairs on the streaming stage-0→1 path,
+#: where rule L7 forbids whole-stream materialization.
+STREAMING_FILES = (("sim", "tlb_vec.py"), ("sim", "machine.py"),
+                   ("sim", "artifacts.py"), ("workloads", "base.py"),
+                   ("workloads", "generators.py"))
 
 
 @dataclass(frozen=True)
@@ -181,6 +191,8 @@ class FileContext:
             scopes.add("vec")
         if tuple(parts[-3:-1]) == KERNELS_DIR:
             scopes.update(("vec", "kernels"))
+        if tail in STREAMING_FILES:
+            scopes.add("streaming")
         for line in self.source.splitlines()[:20]:
             match = _SCOPE_PRAGMA_RE.search(line)
             if match:
@@ -276,9 +288,10 @@ def _registry() -> List[Rule]:
     from repro.analysis.lint.provenance import L3Provenance, L4EngineParity
     from repro.analysis.lint.purity import L6KernelPurity
     from repro.analysis.lint.rules import L1AddressArithmetic, L2Determinism
+    from repro.analysis.lint.streaming import L7StreamingHygiene
 
     return [L1AddressArithmetic(), L2Determinism(), L3Provenance(),
-            L4EngineParity(), L6KernelPurity()]
+            L4EngineParity(), L6KernelPurity(), L7StreamingHygiene()]
 
 
 ALL_RULES: List[Rule] = []
@@ -390,7 +403,7 @@ def _find_tests_dir(paths: Sequence[Path]) -> Optional[Path]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
-        description="dmtlint: simulator-invariant static analysis (L1-L6)",
+        description="dmtlint: simulator-invariant static analysis (L1-L7)",
     )
     parser.add_argument("paths", nargs="*",
                         help="files/directories to lint (default: the "

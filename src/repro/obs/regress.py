@@ -7,6 +7,10 @@ and exits non-zero when a metric regressed past its tolerance:
 * **engine bench** — per-design stage-2 walk throughput
   (``walks / vec_seconds``) must stay within ``tolerance`` of the
   baseline; a design missing from the current bench is a regression.
+* **streaming stage 1** — ``BENCH_stage1_stream.json``'s refs/sec must
+  stay within ``tolerance`` of the baseline, and its peak RSS must not
+  grow past the baseline by more than ``tolerance`` — the footprint
+  check is what catches a silent return to whole-trace materialization.
 * **sweep cells** — per (env, workload, design, thp) cell,
   ``mean_latency`` is deterministic for a fixed config, so it gets the
   tight ``latency_tolerance``; ``walks_per_second`` is wall-clock
@@ -39,6 +43,9 @@ DEFAULT_BENCH_BASELINE = os.path.join("benchmarks", "baselines",
                                       "BENCH_engine.json")
 DEFAULT_SWEEP_BASELINE = os.path.join("benchmarks", "baselines",
                                       "sweep_small.json")
+DEFAULT_STREAM_BENCH = "BENCH_stage1_stream.json"
+DEFAULT_STREAM_BASELINE = os.path.join("benchmarks", "baselines",
+                                       "BENCH_stage1_stream.json")
 DEFAULT_TRAJECTORY = "BENCH_trajectory.json"
 
 
@@ -110,6 +117,34 @@ def compare_bench(current: Dict, baseline: Dict,
     return out
 
 
+def compare_stream(current: Dict, baseline: Dict,
+                   tolerance: float = DEFAULT_TOLERANCE) -> List[Regression]:
+    """Regressions of the streaming stage-1 bench against its baseline.
+
+    Throughput (refs/sec) may not drop below ``1 - tolerance`` of the
+    baseline; peak RSS may not grow above ``1 + tolerance`` of it. RSS
+    is the load-bearing check: a whole-trace materialization sneaking
+    back into the streaming path multiplies the footprint, not the
+    wall time.
+    """
+    base = baseline.get("stream") or {}
+    cur = current.get("stream") or {}
+    out: List[Regression] = []
+    base_rps = base.get("refs_per_sec") or 0.0
+    cur_rps = cur.get("refs_per_sec") or 0.0
+    rps_limit = base_rps * (1.0 - tolerance)
+    if base_rps and cur_rps < rps_limit:
+        out.append(Regression("refs_per_sec", "stream:stage1",
+                              base_rps, cur_rps, rps_limit))
+    base_rss = base.get("peak_rss_kb") or 0.0
+    cur_rss = cur.get("peak_rss_kb") or 0.0
+    rss_limit = base_rss * (1.0 + tolerance)
+    if base_rss and cur_rss > rss_limit:
+        out.append(Regression("peak_rss_kb", "stream:stage1",
+                              base_rss, cur_rss, rss_limit))
+    return out
+
+
 def _cell_key(cell: Dict) -> Tuple:
     return (cell["env"], cell["workload"], cell.get("design"),
             bool(cell["thp"]))
@@ -158,7 +193,8 @@ def compare_sweep(current: Dict, baseline: Dict,
 def trajectory_record(bench: Optional[Dict], sweep: Optional[Dict],
                       regressions: List[Regression],
                       tolerance: float,
-                      latency_tolerance: float) -> Dict:
+                      latency_tolerance: float,
+                      stream: Optional[Dict] = None) -> Dict:
     """The dated history entry appended to ``BENCH_trajectory.json``."""
     record: Dict[str, object] = {
         "date": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -169,6 +205,14 @@ def trajectory_record(bench: Optional[Dict], sweep: Optional[Dict],
     }
     if bench is not None:
         record["bench_walks_per_second"] = bench_walks_per_second(bench)
+    if stream is not None and stream.get("stream"):
+        entry = stream["stream"]
+        record["stage1_stream"] = {
+            "refs_per_sec": entry.get("refs_per_sec"),
+            "peak_rss_kb": entry.get("peak_rss_kb"),
+            "nrefs": entry.get("nrefs"),
+            "chunk": entry.get("chunk"),
+        }
     if sweep is not None:
         cells = [c for c in sweep.get("cells", []) if "error" not in c]
         record["sweep"] = {
@@ -202,6 +246,8 @@ def run_gate(bench_path: Optional[str] = DEFAULT_BENCH,
              tolerance: float = DEFAULT_TOLERANCE,
              latency_tolerance: float = DEFAULT_LATENCY_TOLERANCE,
              trajectory_path: Optional[str] = DEFAULT_TRAJECTORY,
+             stream_path: Optional[str] = DEFAULT_STREAM_BENCH,
+             baseline_stream_path: Optional[str] = DEFAULT_STREAM_BASELINE,
              out: Callable[[str], None] = print) -> int:
     """The gate behind ``python -m repro regress``.
 
@@ -210,7 +256,7 @@ def run_gate(bench_path: Optional[str] = DEFAULT_BENCH,
     (no comparable inputs).
     """
     regressions: List[Regression] = []
-    bench = current_sweep = None
+    bench = current_sweep = stream = None
     compared = 0
     if bench_path and baseline_bench_path and os.path.exists(bench_path) \
             and os.path.exists(baseline_bench_path):
@@ -220,6 +266,15 @@ def run_gate(bench_path: Optional[str] = DEFAULT_BENCH,
         compared += 1
         out(f"bench: {bench_path} vs {baseline_bench_path} "
             f"({len(bench.get('stage2', []))} design(s))")
+    if stream_path and baseline_stream_path \
+            and os.path.exists(stream_path) \
+            and os.path.exists(baseline_stream_path):
+        stream = load_document(stream_path)
+        baseline_stream = load_document(baseline_stream_path)
+        regressions.extend(compare_stream(stream, baseline_stream,
+                                          tolerance))
+        compared += 1
+        out(f"stream: {stream_path} vs {baseline_stream_path}")
     if sweep_path:
         if not (baseline_sweep_path and os.path.exists(baseline_sweep_path)):
             out(f"error: sweep baseline {baseline_sweep_path!r} not found")
@@ -245,7 +300,8 @@ def run_gate(bench_path: Optional[str] = DEFAULT_BENCH,
         f"(latency {latency_tolerance:.0%})")
     if trajectory_path:
         record = trajectory_record(bench, current_sweep, regressions,
-                                   tolerance, latency_tolerance)
+                                   tolerance, latency_tolerance,
+                                   stream=stream)
         document = append_trajectory(trajectory_path, record)
         out(f"appended record #{len(document['records'])} to "
             f"{trajectory_path}")

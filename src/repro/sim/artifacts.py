@@ -12,29 +12,45 @@ change the bytes of the artifact must be in the key; the digest is then
 stable across interpreter invocations, ``PYTHONHASHSEED`` values, and
 machines (``tests/test_artifacts.py`` pins this with a subprocess).
 
-Each artifact is two files in the cache directory, ``<digest>.npy``
-(the array, ``allow_pickle=False`` both ways) and ``<digest>.json``
-(the key material echoed back, plus caller metadata such as the
-original compute time). Writes go to a per-process temp name and
-``os.replace`` into place, so concurrent sweep workers sharing one
-directory either see a complete artifact or none. Loads verify the
+Each monolithic artifact is two files in the cache directory,
+``<digest>.npy`` (the array, ``allow_pickle=False`` both ways) and
+``<digest>.json`` (the key material echoed back, plus caller metadata
+such as the original compute time). Writes go to a per-process temp
+name and ``os.replace`` into place, so concurrent sweep workers sharing
+one directory either see a complete artifact or none. Loads verify the
 sidecar against the requested stage/key/schema; a mismatch (digest
 collision, stale schema) or an unreadable payload (corruption, torn
 write) **evicts** the entry and reports a miss, so the caller simply
 recomputes and re-stores.
 
+**Segmented artifacts** (the streaming pipeline, DESIGN.md §13) spread
+one array across ``<digest>.seg<k>.npy`` chunk files plus a JSON
+manifest in the same ``<digest>.json`` slot, listing each segment's
+file, row count and SHA-256. Segments land before the manifest, so a
+reader never sees a manifest pointing at absent segments; a writer that
+dies mid-stream leaves only orphan segment files that the next writer
+overwrites. Reads verify each segment digest as it is consumed; a
+corrupt segment evicts the *whole* entry — manifest and every segment —
+because a partially-valid chunk sequence is useless. ``open_segments``
+is the constant-memory path (one verified, memmap-backed segment at a
+time); ``load_array`` on a segmented entry assembles the segments into
+one preallocated array (transient footprint: result + one segment).
+
 Telemetry: counters ``artifacts.hits`` / ``artifacts.misses`` /
 ``artifacts.evictions`` / ``artifacts.bytes_read`` /
-``artifacts.bytes_written`` and ``artifact.load`` / ``artifact.store``
+``artifacts.bytes_written`` (all entries), the segmented-entry
+breakdowns ``artifacts.seg_hits`` / ``artifacts.seg_misses`` /
+``artifacts.seg_evictions``, and ``artifact.load`` / ``artifact.store``
 trace spans.
 """
 
 from __future__ import annotations
 
+import glob
 import hashlib
 import json
 import os
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +60,10 @@ from repro.obs import trace as obs_trace
 #: Bump when the digest payload or the on-disk layout changes shape;
 #: entries written under another schema are evicted on load.
 SCHEMA_VERSION = 1
+
+
+class CorruptSegment(Exception):
+    """A segment failed digest verification; the entry has been evicted."""
 
 
 def digest(stage: str, key) -> str:
@@ -67,6 +87,177 @@ def _canonical(key):
     return json.loads(json.dumps(key))
 
 
+def _file_sha256(path: str) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(block)
+    return hasher.hexdigest()
+
+
+class SegmentReader:
+    """Iterate one segmented artifact, verifying each segment digest.
+
+    Yields one array per segment (memmap-backed when ``mmap=True``), in
+    manifest order. A segment whose bytes no longer match its recorded
+    SHA-256 raises :class:`CorruptSegment` after evicting the whole
+    entry — manifest plus every segment — through the owning cache.
+    """
+
+    def __init__(self, cache: "ArtifactCache", key_digest: str,
+                 manifest: Dict, mmap: bool = True):
+        self._cache = cache
+        self._digest = key_digest
+        self._segments: List[Dict] = manifest.get("segments", [])
+        self._mmap = mmap
+        self.meta: Dict = manifest.get("meta", {})
+        self.total_rows = int(sum(seg["rows"] for seg in self._segments))
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(os.path.getsize(os.path.join(self._cache.root,
+                                                seg["file"]))
+                   for seg in self._segments)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for seg in self._segments:
+            path = os.path.join(self._cache.root, seg["file"])
+            try:
+                if _file_sha256(path) != seg["sha256"]:
+                    raise ValueError("segment digest mismatch")
+                array = np.load(path, allow_pickle=False,
+                                mmap_mode="r" if self._mmap else None)
+                if len(array) != int(seg["rows"]):
+                    raise ValueError("segment row count mismatch")
+            except (OSError, ValueError, EOFError) as exc:
+                self._cache.evict(self._digest)
+                raise CorruptSegment(
+                    f"segment {seg.get('file')} of {self._digest[:12]} "
+                    f"is corrupt: {exc}") from exc
+            yield array
+
+    def concatenated(self) -> np.ndarray:
+        """All segments assembled into one preallocated array.
+
+        Peak transient memory is the result plus one segment (plus the
+        page-cache-backed mmap of the segment being copied).
+        """
+        out = None
+        pos = 0
+        for seg in self:
+            if out is None:
+                out = np.empty((self.total_rows,) + seg.shape[1:],
+                               dtype=seg.dtype)
+            out[pos:pos + len(seg)] = seg
+            pos += len(seg)
+        if out is None:
+            out = np.empty(0, dtype=np.int64)
+        return out
+
+
+class SegmentWriter:
+    """Append-only writer for one segmented artifact.
+
+    ``append`` lands each chunk as ``<digest>.seg<k>.npy`` (temp name +
+    ``os.replace``); ``commit`` writes the manifest last, atomically —
+    only then does the entry exist for readers. ``abort`` removes the
+    segments written so far. Two workers racing on the same digest
+    write identical content for identical keys, so lost races are
+    harmless, exactly as for monolithic entries.
+    """
+
+    def __init__(self, cache: "ArtifactCache", stage: str, key,
+                 meta: Optional[Dict] = None):
+        self._cache = cache
+        self._stage = stage
+        self._key = key
+        self._meta = dict(meta or {})
+        self.key_digest = digest(stage, key)
+        self._segments: List[Dict] = []
+        self._bytes = 0
+        self._committed = False
+
+    def append(self, array: np.ndarray) -> None:
+        if self._committed:
+            raise RuntimeError("segment writer already committed")
+        array = np.asarray(array)
+        name = f"{self.key_digest}.seg{len(self._segments)}.npy"
+        path = os.path.join(self._cache.root, name)
+        tmp = path + f".tmp{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                np.save(handle, array, allow_pickle=False)
+            sha = _file_sha256(tmp)
+            self._bytes += os.path.getsize(tmp)
+            os.replace(tmp, path)
+        finally:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+        self._segments.append({"file": name, "rows": int(len(array)),
+                               "sha256": sha})
+
+    def commit(self, extra_meta: Optional[Dict] = None) -> str:
+        """Write the manifest; the entry becomes visible to readers."""
+        meta = dict(self._meta)
+        meta.update(extra_meta or {})
+        manifest = {
+            "schema": SCHEMA_VERSION, "stage": self._stage,
+            "key": _canonical(self._key), "segmented": True,
+            "total_rows": int(sum(s["rows"] for s in self._segments)),
+            "segments": self._segments, "meta": meta,
+        }
+        meta_path = os.path.join(self._cache.root,
+                                 self.key_digest + ".json")
+        tmp = meta_path + f".tmp{os.getpid()}"
+        with obs_trace.span("artifact.store", stage=self._stage,
+                            digest=self.key_digest[:12],
+                            segmented=True) as sp:
+            try:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(manifest, handle, sort_keys=True)
+                    handle.write("\n")
+                self._bytes += os.path.getsize(tmp)
+                os.replace(tmp, meta_path)
+            finally:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+            self._cache.record_write(self._bytes)
+            if sp is not None:
+                sp["bytes"] = self._bytes
+                sp["segments"] = len(self._segments)
+        self._committed = True
+        return self.key_digest
+
+    def abort(self) -> None:
+        """Remove the segments written so far (no manifest was written)."""
+        for seg in self._segments:
+            try:
+                os.remove(os.path.join(self._cache.root, seg["file"]))
+            except OSError:
+                pass
+        self._segments = []
+
+    def reader(self, mmap: bool = True) -> SegmentReader:
+        """A reader over the just-committed entry.
+
+        Built directly from this writer's manifest rather than through
+        :meth:`ArtifactCache.open_segments`, so re-reading what we just
+        wrote does not inflate the cache's hit counters.
+        """
+        if not self._committed:
+            raise RuntimeError("segment writer not committed yet")
+        manifest = {"segments": self._segments, "meta": self._meta}
+        return SegmentReader(self._cache, self.key_digest, manifest,
+                             mmap=mmap)
+
+
 class ArtifactCache:
     """One cache directory of content-addressed simulation artifacts."""
 
@@ -78,6 +269,9 @@ class ArtifactCache:
         self._evictions = metrics.counter("artifacts.evictions")
         self._bytes_read = metrics.counter("artifacts.bytes_read")
         self._bytes_written = metrics.counter("artifacts.bytes_written")
+        self._seg_hits = metrics.counter("artifacts.seg_hits")
+        self._seg_misses = metrics.counter("artifacts.seg_misses")
+        self._seg_evictions = metrics.counter("artifacts.seg_evictions")
 
     @property
     def hits(self) -> int:
@@ -91,19 +285,87 @@ class ArtifactCache:
     def evictions(self) -> int:
         return self._evictions.value
 
+    @property
+    def seg_hits(self) -> int:
+        return self._seg_hits.value
+
+    @property
+    def seg_misses(self) -> int:
+        return self._seg_misses.value
+
+    @property
+    def seg_evictions(self) -> int:
+        return self._seg_evictions.value
+
+    def record_write(self, nbytes: int) -> None:
+        self._bytes_written.inc(nbytes)
+
     def _paths(self, key_digest: str) -> Tuple[str, str]:
         return (os.path.join(self.root, key_digest + ".npy"),
                 os.path.join(self.root, key_digest + ".json"))
 
     def evict(self, key_digest: str) -> None:
-        """Drop an entry (missing files are fine — a concurrent worker
-        may have evicted or replaced it first)."""
+        """Drop an entry — payload, sidecar, and *all* of its segments
+        (missing files are fine — a concurrent worker may have evicted
+        or replaced it first). A segmented entry with one corrupt
+        segment is useless as a whole, so eviction is all-or-nothing."""
         self._evictions.inc()
-        for path in self._paths(key_digest):
+        paths = list(self._paths(key_digest))
+        segment_files = glob.glob(
+            os.path.join(glob.escape(self.root), key_digest + ".seg*"))
+        if segment_files:
+            self._seg_evictions.inc()
+            paths += segment_files
+        for path in paths:
             try:
                 os.remove(path)
             except OSError:
                 pass
+
+    def _read_manifest(self, stage: str, key,
+                       key_digest: str) -> Optional[Dict]:
+        """The validated sidecar/manifest, or None (entry evicted on
+        mismatch, left alone when simply absent)."""
+        _npy_path, meta_path = self._paths(key_digest)
+        try:
+            with open(meta_path, encoding="utf-8") as handle:
+                sidecar = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            if os.path.exists(meta_path):
+                self.evict(key_digest)
+            return None
+        ok = (sidecar.get("schema") == SCHEMA_VERSION
+              and sidecar.get("stage") == stage
+              and sidecar.get("key") == _canonical(key))
+        if not ok:
+            self.evict(key_digest)
+            return None
+        return sidecar
+
+    def segment_writer(self, stage: str, key,
+                       meta: Optional[Dict] = None) -> SegmentWriter:
+        """A writer that streams ``(stage, key)`` to disk chunk-by-chunk."""
+        return SegmentWriter(self, stage, key, meta=meta)
+
+    def open_segments(self, stage: str, key,
+                      mmap: bool = True) -> Optional[SegmentReader]:
+        """A verified segment iterator for ``(stage, key)``, or None.
+
+        The constant-memory read path: segments are verified and
+        yielded one at a time. Only segmented entries qualify; a
+        monolithic entry under the same key reports None (use
+        :meth:`load_array`). Iteration may raise
+        :class:`CorruptSegment`, after evicting the whole entry.
+        """
+        key_digest = digest(stage, key)
+        manifest = self._read_manifest(stage, key, key_digest)
+        if manifest is None or not manifest.get("segmented"):
+            self._misses.inc()
+            self._seg_misses.inc()
+            return None
+        self._hits.inc()
+        self._seg_hits.inc()
+        return SegmentReader(self, key_digest, manifest, mmap=mmap)
 
     def load_array(self, stage: str, key,
                    mmap: bool = False) -> Optional[Tuple[np.ndarray, Dict]]:
@@ -113,43 +375,58 @@ class ArtifactCache:
         (which is evicted on the way out) — the caller's response is
         the same: compute and :meth:`store_array`.
 
-        With ``mmap=True`` the payload comes back as a read-only
-        ``np.memmap`` over the cache file instead of a heap copy:
-        sweep workers sharing one cache directory then share the trace
-        and miss-stream pages through the OS page cache (zero-copy
-        transfer), and ``bytes_read`` counts the mapped extent, not
-        bytes actually faulted in.
+        With ``mmap=True`` a monolithic payload comes back as a
+        read-only ``np.memmap`` over the cache file instead of a heap
+        copy: sweep workers sharing one cache directory then share the
+        trace and miss-stream pages through the OS page cache
+        (zero-copy transfer), and ``bytes_read`` counts the mapped
+        extent, not bytes actually faulted in. A segmented entry is
+        *assembled* into one heap array either way (the segments are
+        mmapped while copying); use :meth:`open_segments` to consume it
+        without materializing.
         """
         key_digest = digest(stage, key)
         npy_path, meta_path = self._paths(key_digest)
         with obs_trace.span("artifact.load", stage=stage,
                             digest=key_digest[:12]) as sp:
+            sidecar = self._read_manifest(stage, key, key_digest)
+            segmented = bool(sidecar and sidecar.get("segmented"))
             try:
-                with open(meta_path, encoding="utf-8") as handle:
-                    sidecar = json.load(handle)
-                ok = (sidecar.get("schema") == SCHEMA_VERSION
-                      and sidecar.get("stage") == stage
-                      and sidecar.get("key") == _canonical(key))
-                if not ok:
-                    self.evict(key_digest)
-                    raise ValueError("sidecar does not match the request")
-                array = np.load(npy_path, allow_pickle=False,
-                                mmap_mode="r" if mmap else None)
-            except (OSError, ValueError, EOFError, json.JSONDecodeError):
-                # missing entry, torn write, corrupt payload, stale
-                # schema, or a digest collision: treat all as a miss
-                if os.path.exists(npy_path) or os.path.exists(meta_path):
+                if sidecar is None:
+                    raise ValueError("no valid sidecar")
+                if segmented:
+                    reader = SegmentReader(self, key_digest, sidecar,
+                                           mmap=True)
+                    nbytes = reader.payload_bytes
+                    array = reader.concatenated()
+                    nbytes += os.path.getsize(meta_path)
+                else:
+                    array = np.load(npy_path, allow_pickle=False,
+                                    mmap_mode="r" if mmap else None)
+                    nbytes = (os.path.getsize(npy_path)
+                              + os.path.getsize(meta_path))
+            except (OSError, ValueError, EOFError, CorruptSegment) as exc:
+                # missing entry, torn write, corrupt payload or segment,
+                # stale schema, or a digest collision: treat all as a
+                # miss (CorruptSegment already evicted the whole entry)
+                if not isinstance(exc, CorruptSegment) and (
+                        os.path.exists(npy_path)
+                        or os.path.exists(meta_path)):
                     self.evict(key_digest)
                 self._misses.inc()
+                if segmented:
+                    self._seg_misses.inc()
                 if sp is not None:
                     sp["hit"] = False
                 return None
             self._hits.inc()
-            nbytes = os.path.getsize(npy_path) + os.path.getsize(meta_path)
+            if segmented:
+                self._seg_hits.inc()
             self._bytes_read.inc(nbytes)
             if sp is not None:
                 sp["hit"] = True
                 sp["bytes"] = nbytes
+                sp["segmented"] = segmented
             return array, sidecar.get("meta", {})
 
     def store_array(self, stage: str, key, array: np.ndarray,

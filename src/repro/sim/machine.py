@@ -13,12 +13,19 @@ alongside.
 from __future__ import annotations
 
 import dataclasses
+import os
+import queue
+import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.analysis import sanitizer
 from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize, align_up
+from repro.obs import metrics
 from repro.obs import trace as obs_trace
 from repro.core.costs import Environment as MgmtEnv
 from repro.core.dmt_os import DMTLinux
@@ -26,6 +33,7 @@ from repro.core.paravirt import PvDMTHost, PvTEAAllocator
 from repro.core.registers import REGISTERS_PER_SET, RegisterSet
 from repro.hw.config import MachineConfig, xeon_gold_6138
 from repro.kernel.kernel import Kernel
+from repro.sim import tlb_vec
 from repro.sim.simulator import (
     Stage1Cache,
     TLBFilterResult,
@@ -66,6 +74,15 @@ from repro.virt.shadow import ShadowPager
 from repro.workloads import generators
 
 _MB = 1 << 20
+
+#: Auto-streaming threshold: monolithic stage 0→1 below this many
+#: references (the arrays are small enough that streaming only adds
+#: overhead), the constant-memory streaming pipeline at or above it.
+STREAM_NREFS_THRESHOLD = 8_000_000
+
+#: Trace references per streamed chunk when ``stream_chunk`` is left on
+#: auto: 1 Mi refs = 8 MB per in-flight chunk.
+DEFAULT_STREAM_CHUNK = 1 << 20
 
 
 def _page_align(nbytes: int) -> int:
@@ -111,6 +128,14 @@ class SimConfig:
     #: Enable the runtime translation sanitizer
     #: (:mod:`repro.analysis.sanitizer`) for this run.
     sanitize: bool = False
+    #: Stage-0→1 streaming chunk size in references. ``None`` (default)
+    #: picks automatically: stream at :data:`DEFAULT_STREAM_CHUNK` when
+    #: ``nrefs`` reaches :data:`STREAM_NREFS_THRESHOLD` (vec engine
+    #: only), monolithic below it. A positive value forces streaming at
+    #: that chunk size; ``0`` forces the monolithic path. Streaming is
+    #: bit-identical to monolithic (DESIGN.md §13), so the knob trades
+    #: memory against per-chunk overhead, never results.
+    stream_chunk: Optional[int] = None
 
     def __post_init__(self):
         """Reject invalid configurations here, with a clear error, instead
@@ -134,6 +159,14 @@ class SimConfig:
                 f"walk_engine={self.walk_engine!r}: expected 'auto', "
                 f"'native', 'vec' or 'scalar'"
             )
+        if self.stream_chunk is not None and self.stream_chunk < 0:
+            raise ValueError(
+                f"stream_chunk={self.stream_chunk} must be None, 0 (off), "
+                f"or a positive chunk size")
+        if self.stream_chunk and self.engine != "vec":
+            raise ValueError(
+                "stream_chunk requires engine='vec': the scalar stage-1 "
+                "oracle has no chunk-carrying state machine")
         if self.scale < 1:
             raise ValueError(f"scale={self.scale} must be >= 1")
         if self.nrefs < 1:
@@ -159,6 +192,16 @@ class SimConfig:
                     f"{cache.name}: line size {cache.line_bytes} must be a "
                     f"power of two"
                 )
+
+    def resolved_stream_chunk(self) -> Optional[int]:
+        """The streaming chunk size in effect, or None for monolithic."""
+        if self.stream_chunk == 0:
+            return None
+        if self.stream_chunk:
+            return self.stream_chunk
+        if self.nrefs >= STREAM_NREFS_THRESHOLD and self.engine == "vec":
+            return DEFAULT_STREAM_CHUNK
+        return None
 
     def small(self, nrefs: int = 8_000, scale: int = 4096) -> "SimConfig":
         """A reduced copy for fast tests.
@@ -193,6 +236,10 @@ class _SimulationBase:
         #: Where stage 1 came from: "computed", "memo" (in-process
         #: reuse), or "disk" (cross-run artifact cache).
         self.stage1_source = "computed"
+        #: Whether this config resolves stage 0→1 to the streaming
+        #: pipeline (a pure function of the config, so cold and warm
+        #: runs of the same config report the same value).
+        self.stage1_streamed = config.resolved_stream_chunk() is not None
 
     def _memsys(self) -> MemorySubsystem:
         ws = paper_ws = None
@@ -271,23 +318,181 @@ class _SimulationBase:
         artifacts.store_array("trace", key, trace, {})
         return trace
 
+    def _accept_rates(self):
+        """TLB acceptance rates for the scaled working set, or None."""
+        if not self.config.scale_mmu_caches:
+            return None
+        ws = self.workload.working_set_bytes()
+        paper_ws = int(self.workload.paper_working_set_gb * (1 << 30))
+        if ws < paper_ws:
+            return tlb_accept_rates(self.config.machine, ws, paper_ws)
+        return None
+
+    def _stream_stage1(self, process, layout, chunk: int) -> TLBFilterResult:
+        """Constant-memory stage 0→1: filter the trace as chunks arrive.
+
+        A producer thread generates trace chunk *k+1* while the main
+        thread TLB-filters chunk *k* — the generator is NumPy-bound and
+        releases the GIL, so the two overlap. Miss segments spill to
+        disk as they are produced (segmented artifact under the stage-1
+        key when a cache is attached, a temporary directory otherwise)
+        and are assembled at the end into one preallocated array, so
+        peak memory is the miss stream plus a few in-flight chunks —
+        never the trace. Bit-identical to the monolithic path: the
+        chunked generators honour the RNG contract and
+        :class:`~repro.sim.tlb_vec.TLBFilterStream` carries TLB/LRU
+        state across chunk boundaries (DESIGN.md §13).
+        """
+        cfg = self.config
+        artifacts = self._stage1.artifacts if self._stage1 is not None \
+            else None
+        total_refs = self.workload.trace_length(cfg.nrefs)
+        filt = tlb_vec.TLBFilterStream(
+            cfg.machine, make_size_lookup(process.page_table),
+            accept_rates=self._accept_rates())
+
+        # Trace segments: reuse a segmented stage-0 artifact when one is
+        # on disk; otherwise generate, spilling segments for next time.
+        trace_reader = trace_writer = None
+        if artifacts is not None:
+            trace_reader = artifacts.open_segments("trace",
+                                                   self._trace_key())
+            if trace_reader is None:
+                trace_writer = artifacts.segment_writer(
+                    "trace", self._trace_key())
+
+        stop = threading.Event()
+        done = object()
+        feed: "queue.Queue" = queue.Queue(maxsize=2)
+
+        def enqueue(item) -> bool:
+            """Bounded put that gives up once the consumer has failed."""
+            while not stop.is_set():
+                try:
+                    feed.put(item, timeout=0.1)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def produce() -> None:
+            try:
+                if trace_reader is not None:
+                    pieces = iter(trace_reader)
+                else:
+                    pieces = self.workload.generate_trace_chunks(
+                        layout, cfg.nrefs, cfg.seed, chunk)
+                for piece in pieces:
+                    if trace_writer is not None:
+                        trace_writer.append(piece)
+                    if not enqueue(piece):
+                        return          # consumer failed; bail out
+                enqueue(done)
+            except BaseException as exc:  # propagate into the consumer
+                enqueue(exc)
+
+        refs_counter = metrics.counter("stage1.stream.refs")
+        producer = threading.Thread(target=produce, name="stage0-producer",
+                                    daemon=True)
+        start = time.perf_counter()
+        spill_dir = None
+        miss_writer = None
+        if artifacts is not None:
+            miss_writer = artifacts.segment_writer(
+                "stage1", list(self._stage1_key()))
+        else:
+            spill_dir = tempfile.TemporaryDirectory(prefix="repro-stage1-")
+        spill_files = []
+        try:
+            producer.start()
+            index = 0
+            while True:
+                item = feed.get()
+                if item is done:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                with obs_trace.span("stage1.stream_chunk", index=index,
+                                    refs=len(item)) as sp:
+                    segment = filt.feed(item)
+                    if sp is not None:
+                        sp["misses"] = int(segment.size)
+                refs_counter.inc(len(item))
+                if segment.size:
+                    if miss_writer is not None:
+                        miss_writer.append(segment)
+                    else:
+                        path = os.path.join(spill_dir.name,
+                                            f"miss{len(spill_files)}.npy")
+                        np.save(path, segment, allow_pickle=False)
+                        spill_files.append((path, int(segment.size)))
+                index += 1
+        except BaseException:
+            stop.set()
+            producer.join()
+            if miss_writer is not None:
+                miss_writer.abort()
+            if trace_writer is not None:
+                trace_writer.abort()
+            if spill_dir is not None:
+                spill_dir.cleanup()
+            raise
+        producer.join()
+        seconds = time.perf_counter() - start
+        if seconds > 0:
+            metrics.gauge("stage1.stream.refs_per_sec").set(
+                filt.total_refs / seconds)
+        metrics.gauge("stage1.stream.peak_rss_kb").set(
+            obs_trace.peak_rss_kb())
+
+        if filt.total_refs != total_refs:
+            if miss_writer is not None:
+                miss_writer.abort()
+            if trace_writer is not None:
+                trace_writer.abort()
+            if spill_dir is not None:
+                spill_dir.cleanup()
+            raise RuntimeError(
+                f"streamed {filt.total_refs} refs, expected {total_refs}")
+        if trace_writer is not None:
+            trace_writer.commit()
+
+        # Assemble the miss stream from the spilled segments: the result
+        # array plus one memmapped segment at a time.
+        misses = np.empty(filt.total_misses, dtype=np.int64)
+        pos = 0
+        if miss_writer is not None:
+            miss_writer.commit({"total_refs": total_refs,
+                                "seconds": seconds})
+            self._stage1.mark_persisted()
+            segments = iter(miss_writer.reader())
+        else:
+            segments = (np.load(path, mmap_mode="r")
+                        for path, _rows in spill_files)
+        for segment in segments:
+            misses[pos:pos + len(segment)] = segment
+            pos += len(segment)
+        if spill_dir is not None:
+            spill_dir.cleanup()
+        return TLBFilterResult(misses, total_refs)
+
     def _trace_and_filter(self, process, layout) -> TLBFilterResult:
+        stream_chunk = self.config.resolved_stream_chunk()
+
         def build() -> TLBFilterResult:
             with obs_trace.span("stage1", workload=self.workload.name,
-                                thp=self.config.thp) as sp:
-                trace = self._generate_trace(layout)
-                accept = None
-                if self.config.scale_mmu_caches:
-                    ws = self.workload.working_set_bytes()
-                    paper_ws = int(
-                        self.workload.paper_working_set_gb * (1 << 30))
-                    if ws < paper_ws:
-                        accept = tlb_accept_rates(self.config.machine, ws,
-                                                  paper_ws)
-                result = tlb_filter(trace, self.config.machine,
-                                    make_size_lookup(process.page_table),
-                                    accept_rates=accept,
-                                    engine=self.config.engine)
+                                thp=self.config.thp,
+                                streamed=stream_chunk is not None) as sp:
+                if stream_chunk is not None:
+                    result = self._stream_stage1(process, layout,
+                                                 stream_chunk)
+                else:
+                    trace = self._generate_trace(layout)
+                    result = tlb_filter(
+                        trace, self.config.machine,
+                        make_size_lookup(process.page_table),
+                        accept_rates=self._accept_rates(),
+                        engine=self.config.engine)
                 if sp is not None:
                     sp["refs"] = result.total_refs
                     sp["misses"] = result.miss_count

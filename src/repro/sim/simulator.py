@@ -369,6 +369,11 @@ class Stage1Cache:
         self.last_seconds = 0.0
         self.last_reused = False
         self.last_source = "none"
+        #: Set by a build that already persisted its own entry (the
+        #: streaming pipeline commits a *segmented* stage-1 artifact as
+        #: it spills miss segments); suppresses the monolithic
+        #: ``store_array`` that would otherwise replace that manifest.
+        self.last_persisted = False
 
     @property
     def computed(self) -> int:
@@ -404,6 +409,7 @@ class Stage1Cache:
                 self.last_source = "disk"
                 return result
         start = time.perf_counter()
+        self.last_persisted = False
         result = build()
         seconds = time.perf_counter() - start
         self._entries[key] = (result, seconds)
@@ -411,11 +417,15 @@ class Stage1Cache:
         self.last_seconds = seconds
         self.last_reused = False
         self.last_source = "computed"
-        if self.artifacts is not None:
+        if self.artifacts is not None and not self.last_persisted:
             self.artifacts.store_array(
                 "stage1", list(key), result.miss_vas,
                 {"total_refs": result.total_refs, "seconds": seconds})
         return result
+
+    def mark_persisted(self) -> None:
+        """Tell the in-flight ``fetch`` its build already hit the disk."""
+        self.last_persisted = True
 
 
 def geomean(values: Sequence[float]) -> float:

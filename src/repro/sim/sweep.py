@@ -166,6 +166,7 @@ def _run_env_cells(sim, env: str, workload: str, thp: bool,
             "stage1_seconds": sim.stage1_seconds,
             "stage1_reused": sim.stage1_reused,
             "stage1_source": sim.stage1_source,
+            "stage1_streamed": sim.stage1_streamed,
             "walk_engine": stats.engine,
             "stage2_fallback_reason": stats.fallback_reason,
             "replay_seconds": replay_seconds,

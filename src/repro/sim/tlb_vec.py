@@ -5,7 +5,7 @@ reference at a time through dict-backed set-associative TLBs — correct,
 but every reference pays for a size-lookup call, tuple-key hashing and
 several method dispatches. This module is the batched replacement:
 
-1. **Vectorized precompute** (NumPy, whole trace at once): page-size
+1. **Vectorized precompute** (NumPy, per fed chunk): page-size
    classification via one lookup per unique 2 MB unit, per-page-size VPN
    arrays (an elementwise shift by the per-reference page-size shift),
    L1/STLB set indices, and packed integer tags that stand in for the
@@ -17,6 +17,13 @@ several method dispatches. This module is the batched replacement:
    operations exactly — including the order of floating-point credit
    updates — so the emitted miss stream is **bit-identical** to the
    scalar oracle on any trace.
+
+The state machine is packaged as :class:`TLBFilterStream`: TLB way
+lists and thinning credits live on the instance and persist across
+``feed`` calls, so the trace can arrive as a sequence of chunks (the
+streaming stage-0→1 pipeline, DESIGN.md §13) and the emitted miss
+segments concatenate to exactly the monolithic result.
+:func:`filter_misses` is the one-shot wrapper over a fresh stream.
 
 The loop is sequential by necessity: LRU state and thinning credits at
 reference *i* depend on every hit/miss decision before it. The speedup
@@ -33,8 +40,8 @@ import numpy as np
 from repro.arch import PageSize
 from repro.hw.config import MachineConfig
 
-#: References processed per chunk; bounds the transient Python-list
-#: footprint to a few hundred KB regardless of trace length.
+#: References processed per inner-loop chunk; bounds the transient
+#: Python-list footprint to a few hundred KB regardless of trace length.
 DEFAULT_CHUNK = 1 << 16
 
 #: Compact code for each page-size shift: 4 KB -> 0, 2 MB -> 1, 1 GB -> 2.
@@ -87,6 +94,161 @@ def _accept_rate_table(accept_rates: Optional[Dict[PageSize, float]]):
     return [float(accept_rates.get(size, 1.0)) for size in _CODE_TO_SIZE]
 
 
+class TLBFilterStream:
+    """Stage-1 TLB filter with state carried across trace chunks.
+
+    Feed consecutive trace chunks; each call returns that chunk's
+    TLB-miss VAs. Way lists (LRU order) and thinning credits persist on
+    the instance between calls, so chunk boundaries are invisible to
+    the model: the concatenated miss segments are bit-identical to
+    filtering the concatenated trace in one call, for any chunking.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        size_lookup,
+        asid: int = 1,
+        accept_rates: Optional[Dict[PageSize, float]] = None,
+        chunk: int = DEFAULT_CHUNK,
+    ):
+        self._size_lookup = size_lookup
+        self._asid = asid
+        self._chunk = chunk
+        self._l1_num_sets = machine.l1d_tlb.num_sets
+        self._stlb_num_sets = machine.l2_stlb.num_sets
+        self._l1_assoc = machine.l1d_tlb.assoc
+        self._stlb_assoc = machine.l2_stlb.assoc
+        # One way list per set, MRU last — the list order mirrors the
+        # scalar model's insertion-ordered dicts (evict = drop index 0).
+        self.l1_state = [[] for _ in range(self._l1_num_sets)]
+        self.stlb_state = [[] for _ in range(self._stlb_num_sets)]
+        self.rates = _accept_rate_table(accept_rates)
+        self.credit = [0.0, 0.0, 0.0]
+        self.total_refs = 0
+        self.total_misses = 0
+
+    def end_state(self):
+        """TLB/credit end state, for streaming-vs-monolithic identity tests."""
+        return (self.l1_state, self.stlb_state, self.credit)
+
+    def feed(self, trace: np.ndarray) -> np.ndarray:
+        """Filter one trace chunk; returns its miss-stream segment."""
+        trace = np.ascontiguousarray(trace, dtype=np.int64)
+        if trace.size == 0:
+            return np.empty(0, dtype=np.int64)
+
+        # ---- vectorized precompute (this chunk) --------------------- #
+        shifts = classify_trace(trace, self._size_lookup)
+        vpn = trace >> shifts                       # per-page-size VPNs
+        codes = (shifts - 12) // 9                  # 12/21/30 -> 0/1/2
+        tags = (vpn << _CODE_BITS) | codes | (self._asid << _ASID_SHIFT)
+        l1_idx = vpn % self._l1_num_sets
+        stlb_idx = vpn % self._stlb_num_sets
+
+        l1_state = self.l1_state
+        stlb_state = self.stlb_state
+        l1_assoc = self._l1_assoc
+        stlb_assoc = self._stlb_assoc
+        rates = self.rates
+        credit = self.credit
+        chunk = self._chunk
+
+        misses = []
+        append_miss = misses.append
+        for start in range(0, trace.size, chunk):
+            stop = min(start + chunk, trace.size)
+            rows = zip(trace[start:stop].tolist(), tags[start:stop].tolist(),
+                       l1_idx[start:stop].tolist(),
+                       stlb_idx[start:stop].tolist(),
+                       codes[start:stop].tolist())
+            if rates is None:
+                for va, tag, s1, s2, _code in rows:
+                    ways = l1_state[s1]
+                    if tag in ways:                      # L1 hit: touch LRU
+                        if ways[-1] != tag:
+                            ways.remove(tag)
+                            ways.append(tag)
+                        continue
+                    sways = stlb_state[s2]
+                    if tag in sways:                     # STLB hit: refill L1
+                        if sways[-1] != tag:
+                            sways.remove(tag)
+                            sways.append(tag)
+                        if len(ways) >= l1_assoc:
+                            del ways[0]
+                        ways.append(tag)
+                        continue
+                    append_miss(va)                      # full miss: fill both
+                    if len(sways) >= stlb_assoc:
+                        del sways[0]
+                    sways.append(tag)
+                    if len(ways) >= l1_assoc:
+                        del ways[0]
+                    ways.append(tag)
+            else:
+                for va, tag, s1, s2, code in rows:
+                    ways = l1_state[s1]
+                    if tag in ways:
+                        # L1 hit: touch, then run the credit counter. A
+                        # rejected hit counts as a miss and refills the STLB
+                        # (the fill's L1 install is an order no-op: the tag
+                        # is already MRU).
+                        if ways[-1] != tag:
+                            ways.remove(tag)
+                            ways.append(tag)
+                        rate = rates[code]
+                        if rate >= 1.0:
+                            continue
+                        acc = credit[code] + rate
+                        if acc >= 1.0:
+                            credit[code] = acc - 1.0
+                            continue
+                        credit[code] = acc
+                        append_miss(va)
+                        sways = stlb_state[s2]
+                        if tag in sways:
+                            if sways[-1] != tag:
+                                sways.remove(tag)
+                                sways.append(tag)
+                        else:
+                            if len(sways) >= stlb_assoc:
+                                del sways[0]
+                            sways.append(tag)
+                        continue
+                    sways = stlb_state[s2]
+                    if tag in sways:
+                        # STLB hit: touch STLB, refill L1, then thin. On a
+                        # rejected hit the fill re-installs both levels, but
+                        # the tag is already MRU in each — no state change.
+                        if sways[-1] != tag:
+                            sways.remove(tag)
+                            sways.append(tag)
+                        if len(ways) >= l1_assoc:
+                            del ways[0]
+                        ways.append(tag)
+                        rate = rates[code]
+                        if rate >= 1.0:
+                            continue
+                        acc = credit[code] + rate
+                        if acc >= 1.0:
+                            credit[code] = acc - 1.0
+                            continue
+                        credit[code] = acc
+                        append_miss(va)
+                        continue
+                    append_miss(va)
+                    if len(sways) >= stlb_assoc:
+                        del sways[0]
+                    sways.append(tag)
+                    if len(ways) >= l1_assoc:
+                        del ways[0]
+                    ways.append(tag)
+        self.total_refs += int(trace.size)
+        self.total_misses += len(misses)
+        return np.asarray(misses, dtype=np.int64)
+
+
 def filter_misses(
     trace: np.ndarray,
     machine: MachineConfig,
@@ -96,117 +258,6 @@ def filter_misses(
     chunk: int = DEFAULT_CHUNK,
 ) -> np.ndarray:
     """TLB-miss VAs of ``trace``, bit-identical to the scalar hierarchy."""
-    trace = np.ascontiguousarray(trace, dtype=np.int64)
-    if trace.size == 0:
-        return np.empty(0, dtype=np.int64)
-
-    # ---- vectorized precompute ------------------------------------- #
-    shifts = classify_trace(trace, size_lookup)
-    vpn = trace >> shifts                       # per-page-size VPNs
-    codes = (shifts - 12) // 9                  # 12/21/30 -> 0/1/2
-    tags = (vpn << _CODE_BITS) | codes | (asid << _ASID_SHIFT)
-    l1_num_sets = machine.l1d_tlb.num_sets
-    stlb_num_sets = machine.l2_stlb.num_sets
-    l1_idx = vpn % l1_num_sets
-    stlb_idx = vpn % stlb_num_sets
-
-    # ---- array-based set/way state ---------------------------------- #
-    # One way list per set, MRU last — the list order mirrors the scalar
-    # model's insertion-ordered dicts (evict = drop index 0).
-    l1_assoc = machine.l1d_tlb.assoc
-    stlb_assoc = machine.l2_stlb.assoc
-    l1_state = [[] for _ in range(l1_num_sets)]
-    stlb_state = [[] for _ in range(stlb_num_sets)]
-    rates = _accept_rate_table(accept_rates)
-    credit = [0.0, 0.0, 0.0]
-
-    misses = []
-    append_miss = misses.append
-    for start in range(0, trace.size, chunk):
-        stop = min(start + chunk, trace.size)
-        rows = zip(trace[start:stop].tolist(), tags[start:stop].tolist(),
-                   l1_idx[start:stop].tolist(), stlb_idx[start:stop].tolist(),
-                   codes[start:stop].tolist())
-        if rates is None:
-            for va, tag, s1, s2, _code in rows:
-                ways = l1_state[s1]
-                if tag in ways:                      # L1 hit: touch LRU
-                    if ways[-1] != tag:
-                        ways.remove(tag)
-                        ways.append(tag)
-                    continue
-                sways = stlb_state[s2]
-                if tag in sways:                     # STLB hit: refill L1
-                    if sways[-1] != tag:
-                        sways.remove(tag)
-                        sways.append(tag)
-                    if len(ways) >= l1_assoc:
-                        del ways[0]
-                    ways.append(tag)
-                    continue
-                append_miss(va)                      # full miss: fill both
-                if len(sways) >= stlb_assoc:
-                    del sways[0]
-                sways.append(tag)
-                if len(ways) >= l1_assoc:
-                    del ways[0]
-                ways.append(tag)
-        else:
-            for va, tag, s1, s2, code in rows:
-                ways = l1_state[s1]
-                if tag in ways:
-                    # L1 hit: touch, then run the credit counter. A
-                    # rejected hit counts as a miss and refills the STLB
-                    # (the fill's L1 install is an order no-op: the tag
-                    # is already MRU).
-                    if ways[-1] != tag:
-                        ways.remove(tag)
-                        ways.append(tag)
-                    rate = rates[code]
-                    if rate >= 1.0:
-                        continue
-                    acc = credit[code] + rate
-                    if acc >= 1.0:
-                        credit[code] = acc - 1.0
-                        continue
-                    credit[code] = acc
-                    append_miss(va)
-                    sways = stlb_state[s2]
-                    if tag in sways:
-                        if sways[-1] != tag:
-                            sways.remove(tag)
-                            sways.append(tag)
-                    else:
-                        if len(sways) >= stlb_assoc:
-                            del sways[0]
-                        sways.append(tag)
-                    continue
-                sways = stlb_state[s2]
-                if tag in sways:
-                    # STLB hit: touch STLB, refill L1, then thin. On a
-                    # rejected hit the fill re-installs both levels, but
-                    # the tag is already MRU in each — no state change.
-                    if sways[-1] != tag:
-                        sways.remove(tag)
-                        sways.append(tag)
-                    if len(ways) >= l1_assoc:
-                        del ways[0]
-                    ways.append(tag)
-                    rate = rates[code]
-                    if rate >= 1.0:
-                        continue
-                    acc = credit[code] + rate
-                    if acc >= 1.0:
-                        credit[code] = acc - 1.0
-                        continue
-                    credit[code] = acc
-                    append_miss(va)
-                    continue
-                append_miss(va)
-                if len(sways) >= stlb_assoc:
-                    del sways[0]
-                sways.append(tag)
-                if len(ways) >= l1_assoc:
-                    del ways[0]
-                ways.append(tag)
-    return np.asarray(misses, dtype=np.int64)
+    stream = TLBFilterStream(machine, size_lookup, asid=asid,
+                             accept_rates=accept_rates, chunk=chunk)
+    return stream.feed(trace)

@@ -2,11 +2,14 @@
 
 from repro.workloads.base import (
     DEFAULT_SCALE,
+    DEFAULT_TRACE_CHUNK,
     InstalledLayout,
+    MixedStream,
+    SiteStream,
+    UniformStream,
     VMASpec,
     Workload,
-    uniform_over,
-    zipf_pages,
+    ZipfStream,
 )
 from repro.workloads.generators import catalogue, get
 from repro.workloads.spec import spec2006_layouts, spec2017_layouts
@@ -14,11 +17,14 @@ from repro.workloads.stats import TraceStats, reuse_distance_profile, trace_stat
 
 __all__ = [
     "DEFAULT_SCALE",
+    "DEFAULT_TRACE_CHUNK",
     "InstalledLayout",
+    "MixedStream",
+    "SiteStream",
+    "UniformStream",
     "VMASpec",
     "Workload",
-    "uniform_over",
-    "zipf_pages",
+    "ZipfStream",
     "catalogue",
     "get",
     "spec2006_layouts",

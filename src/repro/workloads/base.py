@@ -7,13 +7,25 @@ We substitute synthetic generators that reproduce each application's
 sets scaled to simulation size, and each application's *VMA layout*
 (Table 1: how many VMAs, how many cover 99% of memory, how clustered they
 are), which is what DMT's register coverage depends on.
+
+Traces are produced in fixed-size chunks (``generate_trace_chunks``) so
+stage 1 can consume them in constant memory; ``generate_trace`` is the
+same stream assembled into one array.  The chunk-boundary RNG contract
+(DESIGN.md §13): the concatenation of the chunks is bit-identical to the
+single monolithic draw, for every chunk size.  This works because NumPy
+``Generator`` bulk draws (``integers``/``random``/``choice``) fill
+element-sequentially — splitting one ``size=n`` call into consecutive
+smaller calls consumes the identical bit stream — and because each draw
+*site* in a generator is replayed from a captured bit-generator state,
+so sites can be interleaved per chunk even though the monolithic code
+drew them one after another.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +37,13 @@ from repro.kernel.vma import VMA
 #: them down by this factor for tractable pure-Python simulation. TLB and
 #: cache reach stay constant (Table 3), so miss behaviour is preserved.
 DEFAULT_SCALE = 1024
+
+#: Default chunk size (in references) for streamed trace generation.
+DEFAULT_TRACE_CHUNK = 1 << 20
+
+#: Block size used when fast-forwarding a shared generator past a draw
+#: site; bounds the transient footprint of the advance pass.
+_ADVANCE_BLOCK = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -49,7 +68,240 @@ class InstalledLayout:
         return max(self.hot_vmas, key=lambda v: v.size)
 
 
-TraceFn = Callable[["Workload", InstalledLayout, int, np.random.Generator], np.ndarray]
+# --------------------------------------------------------------------- #
+# Replayable draw sites
+# --------------------------------------------------------------------- #
+
+DrawFn = Callable[[np.random.Generator, int], np.ndarray]
+
+
+class SiteStream:
+    """One replayable RNG draw site inside a chunked trace generator.
+
+    The monolithic generators draw each site in one bulk call, in source
+    order.  To emit the trace chunk-by-chunk instead, each site captures
+    the shared generator's bit state where the monolithic call would
+    have happened, then (unless it is the final site) *fast-forwards*
+    the shared generator past the site by performing the same draws in
+    bounded blocks and discarding them — NumPy bulk draws consume the
+    bit stream element-sequentially, so this leaves the shared generator
+    exactly where the monolithic call would have.  ``take`` later
+    replays the site's values from the captured state, also in blocks,
+    yielding the identical bits.
+    """
+
+    def __init__(self, rng: np.random.Generator, draw: DrawFn, length: int,
+                 advance: bool = True,
+                 on_advance: Optional[Callable[[np.ndarray], None]] = None):
+        self._draw = draw
+        self.length = int(length)
+        self._pos = 0
+        self._state = rng.bit_generator.state
+        self._replay = np.random.Generator(type(rng.bit_generator)())
+        self._replay.bit_generator.state = self._state
+        if advance:
+            left = self.length
+            while left:
+                step = min(left, _ADVANCE_BLOCK)
+                block = draw(rng, step)
+                if on_advance is not None:
+                    on_advance(block)
+                left -= step
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` values of this site's monolithic draw."""
+        if self._pos + n > self.length:
+            raise ValueError(
+                f"draw site exhausted: {self._pos}+{n} > {self.length}")
+        self._pos += n
+        return self._draw(self._replay, n)
+
+    def reset(self) -> None:
+        """Rewind to the first value (cyclic reuse, cf. ``np.resize``)."""
+        self._replay.bit_generator.state = self._state
+        self._pos = 0
+
+
+class UniformStream:
+    """Chunked replay of uniform references over one VMA."""
+
+    def __init__(self, vma: VMA, length: int, rng: np.random.Generator,
+                 advance: bool = True):
+        self._start = vma.start
+        size = vma.size
+        self._site = SiteStream(
+            rng, lambda r, n: r.integers(0, size, size=n, dtype=np.int64),
+            length, advance=advance)
+        self.length = self._site.length
+
+    def take(self, n: int) -> np.ndarray:
+        return self._start + self._site.take(n)
+
+    def reset(self) -> None:
+        self._site.reset()
+
+
+class ZipfStream:
+    """Chunked replay of Zipf-distributed page-granular accesses.
+
+    Monolithic draw order: rank picks (``random``), then the rank→page
+    permutation, then the in-page offsets — so the picks site always
+    advances (the permutation is drawn after it on the shared stream).
+    """
+
+    def __init__(self, vma: VMA, length: int, rng: np.random.Generator,
+                 alpha: float = 0.8, advance: bool = True):
+        npages = max(1, vma.size // PAGE_SIZE)
+        # Inverse-CDF sampling over a truncated zeta distribution.
+        ranks = np.arange(1, npages + 1, dtype=np.float64)
+        weights = ranks ** (-alpha)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        self._cdf = cdf
+        self._start = vma.start
+        self._picks = SiteStream(
+            rng, lambda r, n: r.random(n), length)
+        # shuffle rank->page so hot pages are spread across the VMA
+        self._perm = rng.permutation(npages)
+        self._offsets = SiteStream(
+            rng,
+            lambda r, n: r.integers(0, PAGE_SIZE, size=n, dtype=np.int64),
+            length, advance=advance)
+        self.length = int(length)
+
+    def take(self, n: int) -> np.ndarray:
+        picks = np.searchsorted(self._cdf, self._picks.take(n))
+        pages = self._perm[picks]
+        return (self._start + pages.astype(np.int64) * PAGE_SIZE
+                + self._offsets.take(n))
+
+    def reset(self) -> None:
+        self._picks.reset()
+        self._offsets.reset()
+
+
+class SeqStream:
+    """Chunked replay of a fixed-stride scan (no RNG draws)."""
+
+    def __init__(self, base: int, length: int, stride: int):
+        self._base = base
+        self._stride = stride
+        self._pos = 0
+        self.length = int(length)
+
+    def take(self, n: int) -> np.ndarray:
+        idx = np.arange(self._pos, self._pos + n, dtype=np.int64)
+        self._pos += n
+        return self._base + idx * self._stride
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+class MixedStream:
+    """Chunked replay of probability-interleaved sub-streams.
+
+    Reproduces the monolithic ``mixed_trace`` exactly: the j-th
+    occurrence of part ``i`` (in trace order) receives the j-th value of
+    sub-stream ``i``; a part shorter than its demand wraps around
+    cyclically (the ``np.resize`` tiling), and an *empty* part yields
+    zeros, matching ``np.resize``'s empty-input behaviour.
+    """
+
+    def __init__(self, parts: Sequence[Tuple[object, float]], length: int,
+                 rng: np.random.Generator, advance: bool = False):
+        self._parts = [part for part, _ in parts]
+        self._cursor = [0] * len(self._parts)
+        weights = [weight for _, weight in parts]
+        nparts = len(self._parts)
+        self._choices = SiteStream(
+            rng, lambda r, n: r.choice(nparts, size=n, p=weights),
+            length, advance=advance)
+        self.length = int(length)
+
+    def take(self, n: int) -> np.ndarray:
+        choices = self._choices.take(n)
+        out = np.empty(n, dtype=np.int64)
+        for idx in np.unique(choices):
+            mask = choices == idx
+            out[mask] = self._take_cyclic(int(idx), int(mask.sum()))
+        return out
+
+    def _take_cyclic(self, idx: int, need: int) -> np.ndarray:
+        part = self._parts[idx]
+        if part.length == 0:
+            return np.zeros(need, dtype=np.int64)
+        pieces = []
+        cursor = self._cursor[idx]
+        while need:
+            if cursor == part.length:
+                part.reset()
+                cursor = 0
+            step = min(need, part.length - cursor)
+            pieces.append(part.take(step))
+            cursor += step
+            need -= step
+        self._cursor[idx] = cursor
+        # bounded by one requested chunk (wrap splice), not the stream
+        return pieces[0] if len(pieces) == 1 \
+            else np.concatenate(pieces)  # dmtlint: ignore[L701]
+
+
+class InterleavedColumns:
+    """Chunked replay of ``np.column_stack(cols).reshape(-1)``.
+
+    ``block(g)`` returns the next ``g`` values of each of ``ncols``
+    column streams; the output round-robins across the columns.  Column
+    groups that straddle a chunk boundary are carried in a small tail
+    buffer, so any chunk size works.  Each block materializes only
+    ``g * ncols`` elements — this is the per-chunk construction that
+    replaces the whole-trace ``column_stack`` transients.
+    """
+
+    def __init__(self, block: Callable[[int], Sequence[np.ndarray]],
+                 ncols: int, groups: int):
+        self._block = block
+        self._ncols = ncols
+        self._groups_left = int(groups)
+        self._tail = np.empty(0, dtype=np.int64)
+        self.length = ncols * int(groups)
+
+    def take(self, n: int) -> np.ndarray:
+        out = np.empty(n, dtype=np.int64)
+        filled = min(n, len(self._tail))
+        out[:filled] = self._tail[:filled]
+        self._tail = self._tail[filled:]
+        while filled < n:
+            groups = min(self._groups_left,
+                         -(-(n - filled) // self._ncols))
+            if groups <= 0:
+                raise ValueError("interleaved stream exhausted")
+            flat = np.column_stack(self._block(groups)).reshape(-1)
+            self._groups_left -= groups
+            step = min(n - filled, flat.size)
+            out[filled:filled + step] = flat[:step]
+            self._tail = flat[step:]
+            filled += step
+        return out
+
+
+def emit_chunks(stream, chunk: int) -> Iterator[np.ndarray]:
+    """Drain a stream with ``.length``/``.take`` into chunked arrays."""
+    left = stream.length
+    while left:
+        n = min(chunk, left)
+        yield stream.take(n)
+        left -= n
+
+
+# --------------------------------------------------------------------- #
+# Workload
+# --------------------------------------------------------------------- #
+
+ChunkFn = Callable[
+    ["Workload", InstalledLayout, int, np.random.Generator, int],
+    Iterator[np.ndarray],
+]
 
 
 @dataclass
@@ -59,12 +311,15 @@ class Workload:
     name: str
     description: str
     vma_specs: List[VMASpec]
-    trace_fn: TraceFn
+    chunk_fn: ChunkFn
     paper_working_set_gb: float
     #: Table 1 ground truth for cross-checking the layout generator.
     paper_total_vmas: int = 0
     paper_cov99: int = 0
     paper_clusters: int = 0
+    #: Trace length as a function of nrefs (interleaved generators round
+    #: down to a whole number of column groups).
+    trace_len_fn: Optional[Callable[[int], int]] = None
 
     # ------------------------------------------------------------------ #
     # Layout
@@ -110,51 +365,49 @@ class Workload:
     # Trace
     # ------------------------------------------------------------------ #
 
-    def generate_trace(self, layout: InstalledLayout, nrefs: int,
-                       seed: int = 0) -> np.ndarray:
-        """An int64 array of absolute virtual addresses.
+    def trace_length(self, nrefs: int) -> int:
+        """Exact trace length for ``nrefs`` requested references."""
+        return self.trace_len_fn(nrefs) if self.trace_len_fn else nrefs
+
+    def generate_trace_chunks(self, layout: InstalledLayout, nrefs: int,
+                              seed: int = 0,
+                              chunk: int = DEFAULT_TRACE_CHUNK,
+                              ) -> Iterator[np.ndarray]:
+        """Yield the trace as consecutive int64 chunks of ``chunk`` refs.
+
+        The concatenation of the chunks is bit-identical to
+        :meth:`generate_trace` for every chunk size (the chunk-boundary
+        RNG contract, DESIGN.md §13).  All chunks but the last hold
+        exactly ``chunk`` references.
 
         The per-workload salt must be reproducible across interpreter
         runs, so it is a CRC of the name — builtin ``hash()`` on a str
         is salted by PYTHONHASHSEED and made every trace (and every
         downstream miss stream and latency) vary run to run.
         """
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
         rng = np.random.default_rng(seed ^ zlib.crc32(self.name.encode()))
-        trace = self.trace_fn(self, layout, nrefs, rng)
-        return trace.astype(np.int64)
+        for piece in self.chunk_fn(self, layout, nrefs, rng, chunk):
+            yield np.asarray(piece, dtype=np.int64)
 
+    def generate_trace(self, layout: InstalledLayout, nrefs: int,
+                       seed: int = 0) -> np.ndarray:
+        """An int64 array of absolute virtual addresses.
 
-def uniform_over(vma: VMA, nrefs: int, rng: np.random.Generator) -> np.ndarray:
-    offsets = rng.integers(0, vma.size, size=nrefs, dtype=np.int64)
-    return vma.start + offsets
-
-
-def zipf_pages(vma: VMA, nrefs: int, rng: np.random.Generator,
-               alpha: float = 0.8) -> np.ndarray:
-    """Zipf-distributed page-granular accesses over a VMA, random offsets."""
-    npages = max(1, vma.size // PAGE_SIZE)
-    # Inverse-CDF sampling over a truncated zeta distribution.
-    ranks = np.arange(1, npages + 1, dtype=np.float64)
-    weights = ranks ** (-alpha)
-    cdf = np.cumsum(weights)
-    cdf /= cdf[-1]
-    picks = np.searchsorted(cdf, rng.random(nrefs))
-    # shuffle rank->page so hot pages are spread across the VMA
-    perm = rng.permutation(npages)
-    pages = perm[picks]
-    offsets = rng.integers(0, PAGE_SIZE, size=nrefs, dtype=np.int64)
-    return vma.start + pages.astype(np.int64) * PAGE_SIZE + offsets
-
-
-def mixed_trace(parts: List[Tuple[np.ndarray, float]], nrefs: int,
-                rng: np.random.Generator) -> np.ndarray:
-    """Interleave several sub-traces with the given probabilities."""
-    choices = rng.choice(len(parts), size=nrefs,
-                         p=[weight for _, weight in parts])
-    out = np.empty(nrefs, dtype=np.int64)
-    for idx, (sub, _) in enumerate(parts):
-        mask = choices == idx
-        need = int(mask.sum())
-        out[mask] = sub[:need] if len(sub) >= need else \
-            np.resize(sub, need)
-    return out
+        Assembled from :meth:`generate_trace_chunks` into one
+        preallocated array, so peak memory is the trace itself plus one
+        chunk — the interleaved/mixed generators never materialize the
+        whole-trace intermediates they used to.
+        """
+        total = self.trace_length(nrefs)
+        out = np.empty(total, dtype=np.int64)
+        pos = 0
+        for piece in self.generate_trace_chunks(layout, nrefs, seed):
+            out[pos:pos + len(piece)] = piece
+            pos += len(piece)
+        if pos != total:
+            raise RuntimeError(
+                f"{self.name}: chunked generator produced {pos} refs, "
+                f"expected {total}")
+        return out

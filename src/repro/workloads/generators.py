@@ -5,11 +5,18 @@ application — what drives TLB/PWC/cache behaviour — and (b) its VMA layout
 characteristics from Table 1 (total VMAs, VMAs covering 99% of memory,
 clusters). Working sets are scaled down by
 :data:`~repro.workloads.base.DEFAULT_SCALE` (see DESIGN.md §2).
+
+Every generator is chunked: it yields fixed-size int64 blocks whose
+concatenation is bit-identical to the historical monolithic draw (the
+chunk-boundary RNG contract, DESIGN.md §13).  Draw *sites* appear below
+in the same order the monolithic code called them, so the shared
+generator consumes the identical bit stream; each site is then replayed
+chunk-by-chunk through :class:`~repro.workloads.base.SiteStream`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 import numpy as np
 
@@ -17,11 +24,15 @@ from repro.arch import PAGE_SIZE
 from repro.workloads.base import (
     DEFAULT_SCALE,
     InstalledLayout,
+    InterleavedColumns,
+    MixedStream,
+    SeqStream,
+    SiteStream,
+    UniformStream,
     VMASpec,
     Workload,
-    mixed_trace,
-    uniform_over,
-    zipf_pages,
+    ZipfStream,
+    emit_chunks,
 )
 
 _GB = 1 << 30
@@ -43,99 +54,164 @@ def _small_vmas(count: int, seed: int) -> List[VMASpec]:
 
 
 # --------------------------------------------------------------------- #
-# Trace functions
+# Trace generators (chunked)
 # --------------------------------------------------------------------- #
 
-def _gups_trace(wl: Workload, layout: InstalledLayout, nrefs: int,
-                rng: np.random.Generator) -> np.ndarray:
+def _gups_chunks(wl: Workload, layout: InstalledLayout, nrefs: int,
+                 rng: np.random.Generator, chunk: int) -> Iterator[np.ndarray]:
     """GUPS: giga-updates per second — uniform random updates."""
-    return uniform_over(layout.main, nrefs, rng)
+    yield from emit_chunks(
+        UniformStream(layout.main, nrefs, rng, advance=False), chunk)
 
 
-def _redis_trace(wl: Workload, layout: InstalledLayout, nrefs: int,
-                 rng: np.random.Generator) -> np.ndarray:
+def _redis_chunks(wl: Workload, layout: InstalledLayout, nrefs: int,
+                  rng: np.random.Generator, chunk: int) -> Iterator[np.ndarray]:
     """Redis: hash-table probe + value read per GET over a huge keyspace.
 
     At 512M small records the per-page reuse is low: mostly-uniform access
     with a mild hot set (shared dict structures)."""
     main = layout.main
-    hot = zipf_pages(main, nrefs, rng, alpha=0.6)
-    cold = uniform_over(main, nrefs, rng)
-    return mixed_trace([(cold, 0.8), (hot, 0.2)], nrefs, rng)
+    hot = ZipfStream(main, nrefs, rng, alpha=0.6)
+    cold = UniformStream(main, nrefs, rng)
+    yield from emit_chunks(
+        MixedStream([(cold, 0.8), (hot, 0.2)], nrefs, rng), chunk)
 
 
-def _memcached_trace(wl: Workload, layout: InstalledLayout, nrefs: int,
-                     rng: np.random.Generator) -> np.ndarray:
+def _memcached_chunks(wl: Workload, layout: InstalledLayout, nrefs: int,
+                      rng: np.random.Generator,
+                      chunk: int) -> Iterator[np.ndarray]:
     """Memcached: zipfian item popularity across hundreds of slab VMAs."""
     slabs = layout.hot_vmas
-    slab_picks = rng.integers(0, len(slabs), size=nrefs)
-    out = np.empty(nrefs, dtype=np.int64)
+    # The monolithic draw order was: all slab picks, then each slab's
+    # offsets in slab order, sized by that slab's pick count — so tally
+    # the counts while fast-forwarding past the picks site.
+    counts = np.zeros(len(slabs), dtype=np.int64)
+
+    def _tally(block: np.ndarray) -> None:
+        counts[:] += np.bincount(block, minlength=len(slabs))
+
+    nslabs = len(slabs)
+    picks = SiteStream(rng, lambda r, n: r.integers(0, nslabs, size=n),
+                       nrefs, on_advance=_tally)
+    sites: Dict[int, UniformStream] = {}
     for idx, slab in enumerate(slabs):
-        mask = slab_picks == idx
-        count = int(mask.sum())
+        count = int(counts[idx])
         if count:
-            out[mask] = uniform_over(slab, count, rng)
-    return out
+            sites[idx] = UniformStream(slab, count, rng)
+    left = nrefs
+    while left:
+        n = min(chunk, left)
+        chosen = picks.take(n)
+        out = np.empty(n, dtype=np.int64)
+        for idx in np.unique(chosen):
+            mask = chosen == idx
+            out[mask] = sites[int(idx)].take(int(mask.sum()))
+        yield out
+        left -= n
 
 
-def _btree_trace(wl: Workload, layout: InstalledLayout, nrefs: int,
-                 rng: np.random.Generator) -> np.ndarray:
+def _btree_chunks(wl: Workload, layout: InstalledLayout, nrefs: int,
+                  rng: np.random.Generator, chunk: int) -> Iterator[np.ndarray]:
     """BTree: index lookups — one touch per tree level, upper levels hot.
 
     A lookup descends ~4 levels: the root/inner levels live in small,
     heavily reused page sets; the leaf touch is effectively random."""
     main = layout.main
     ops = nrefs // 4
-    root = main.start + rng.integers(0, 16, size=ops, dtype=np.int64) * PAGE_SIZE
-    l2 = main.start + rng.integers(0, max(1, main.size // (256 * PAGE_SIZE)),
-                                   size=ops, dtype=np.int64) * PAGE_SIZE
-    l3 = main.start + rng.integers(0, max(1, main.size // (16 * PAGE_SIZE)),
-                                   size=ops, dtype=np.int64) * PAGE_SIZE
-    leaf = uniform_over(main, ops, rng)
-    return np.column_stack([root, l2, l3, leaf]).reshape(-1)[:nrefs]
+    l2_pages = max(1, main.size // (256 * PAGE_SIZE))
+    l3_pages = max(1, main.size // (16 * PAGE_SIZE))
+    root = SiteStream(
+        rng, lambda r, n: r.integers(0, 16, size=n, dtype=np.int64), ops)
+    l2 = SiteStream(
+        rng,
+        lambda r, n: r.integers(0, l2_pages, size=n, dtype=np.int64), ops)
+    l3 = SiteStream(
+        rng,
+        lambda r, n: r.integers(0, l3_pages, size=n, dtype=np.int64), ops)
+    leaf = UniformStream(main, ops, rng, advance=False)
+    start = main.start
+
+    def block(groups: int):
+        return (start + root.take(groups) * PAGE_SIZE,
+                start + l2.take(groups) * PAGE_SIZE,
+                start + l3.take(groups) * PAGE_SIZE,
+                leaf.take(groups))
+
+    yield from emit_chunks(InterleavedColumns(block, 4, ops), chunk)
 
 
-def _canneal_trace(wl: Workload, layout: InstalledLayout, nrefs: int,
-                   rng: np.random.Generator) -> np.ndarray:
+def _canneal_chunks(wl: Workload, layout: InstalledLayout, nrefs: int,
+                    rng: np.random.Generator,
+                    chunk: int) -> Iterator[np.ndarray]:
     """Canneal: random element swaps — pairs of uniform accesses plus the
     neighbour lists of each element (some spatial locality)."""
     main = layout.main
     half = nrefs // 2
-    elems = uniform_over(main, half, rng)
-    neighbours = elems + rng.integers(-2048, 2048, size=half, dtype=np.int64)
-    neighbours = np.clip(neighbours, main.start, main.end - 1)
-    return np.column_stack([elems, neighbours]).reshape(-1)[:nrefs]
+    elems = UniformStream(main, half, rng)
+    deltas = SiteStream(
+        rng, lambda r, n: r.integers(-2048, 2048, size=n, dtype=np.int64),
+        half, advance=False)
+    lo, hi = main.start, main.end - 1
+
+    def block(groups: int):
+        current = elems.take(groups)
+        neighbours = np.clip(current + deltas.take(groups), lo, hi)
+        return (current, neighbours)
+
+    yield from emit_chunks(InterleavedColumns(block, 2, half), chunk)
 
 
-def _xsbench_trace(wl: Workload, layout: InstalledLayout, nrefs: int,
-                   rng: np.random.Generator) -> np.ndarray:
+def _xsbench_chunks(wl: Workload, layout: InstalledLayout, nrefs: int,
+                    rng: np.random.Generator,
+                    chunk: int) -> Iterator[np.ndarray]:
     """XSBench: per-lookup binary search over sorted nuclide grids — the
     first search steps reuse a small page set, the final ones are random."""
     main = layout.main
     ops = nrefs // 4
     npages = max(1, main.size // PAGE_SIZE)
     # successive binary-search probes narrow from hot to cold pages
-    s1 = main.start + rng.integers(0, max(1, npages // 256),
-                                   size=ops, dtype=np.int64) * PAGE_SIZE
-    s2 = main.start + rng.integers(0, max(1, npages // 32),
-                                   size=ops, dtype=np.int64) * PAGE_SIZE
-    s3 = main.start + rng.integers(0, max(1, npages // 4),
-                                   size=ops, dtype=np.int64) * PAGE_SIZE
-    s4 = uniform_over(main, ops, rng)
-    return np.column_stack([s1, s2, s3, s4]).reshape(-1)[:nrefs]
+    spans = [max(1, npages // 256), max(1, npages // 32), max(1, npages // 4)]
+    probes = [
+        SiteStream(
+            rng,
+            lambda r, n, span=span: r.integers(0, span, size=n,
+                                               dtype=np.int64),
+            ops)
+        for span in spans
+    ]
+    leaf = UniformStream(main, ops, rng, advance=False)
+    start = main.start
+
+    def block(groups: int):
+        cols = [start + probe.take(groups) * PAGE_SIZE for probe in probes]
+        cols.append(leaf.take(groups))
+        return cols
+
+    yield from emit_chunks(InterleavedColumns(block, 4, ops), chunk)
 
 
-def _graph500_trace(wl: Workload, layout: InstalledLayout, nrefs: int,
-                    rng: np.random.Generator) -> np.ndarray:
+def _graph500_chunks(wl: Workload, layout: InstalledLayout, nrefs: int,
+                     rng: np.random.Generator,
+                     chunk: int) -> Iterator[np.ndarray]:
     """Graph500 BFS: sequential frontier scans + random neighbour chasing
     with power-law vertex popularity."""
     main = layout.main
     third = nrefs // 3
     seq_start = int(rng.integers(0, max(1, main.size - third * 64)))
-    seq = main.start + seq_start + np.arange(third, dtype=np.int64) * 64
-    hubs = zipf_pages(main, third, rng, alpha=1.1)
-    rand = uniform_over(main, nrefs - 2 * third, rng)
-    return mixed_trace([(seq, 0.34), (hubs, 0.33), (rand, 0.33)], nrefs, rng)
+    seq = SeqStream(main.start + seq_start, third, stride=64)
+    hubs = ZipfStream(main, third, rng, alpha=1.1)
+    rand = UniformStream(main, nrefs - 2 * third, rng)
+    yield from emit_chunks(
+        MixedStream([(seq, 0.34), (hubs, 0.33), (rand, 0.33)], nrefs, rng),
+        chunk)
+
+
+def _quads(nrefs: int) -> int:
+    return 4 * (nrefs // 4)
+
+
+def _pairs(nrefs: int) -> int:
+    return 2 * (nrefs // 2)
 
 
 # --------------------------------------------------------------------- #
@@ -186,7 +262,7 @@ def catalogue(scale: int = DEFAULT_SCALE) -> Dict[str, Workload]:
             name="Redis",
             description="In-memory KV store, 512M 256B records, 100% reads",
             vma_specs=_redis_layout(scale),
-            trace_fn=_redis_trace,
+            chunk_fn=_redis_chunks,
             paper_working_set_gb=155,
             paper_total_vmas=182, paper_cov99=6, paper_clusters=6,
         ),
@@ -194,7 +270,7 @@ def catalogue(scale: int = DEFAULT_SCALE) -> Dict[str, Workload]:
             name="Memcached",
             description="In-memory KV store, 100M 1KB records, 100% reads",
             vma_specs=_memcached_layout(scale),
-            trace_fn=_memcached_trace,
+            chunk_fn=_memcached_chunks,
             paper_working_set_gb=95,
             paper_total_vmas=1065, paper_cov99=778, paper_clusters=2,
         ),
@@ -202,7 +278,7 @@ def catalogue(scale: int = DEFAULT_SCALE) -> Dict[str, Workload]:
             name="GUPS",
             description="Random memory updates over a 128 GB table",
             vma_specs=_simple_layout(128 * gb, 103, seed=1),
-            trace_fn=_gups_trace,
+            chunk_fn=_gups_chunks,
             paper_working_set_gb=128,
             paper_total_vmas=103, paper_cov99=1, paper_clusters=1,
         ),
@@ -211,32 +287,35 @@ def catalogue(scale: int = DEFAULT_SCALE) -> Dict[str, Workload]:
             description="Index lookups, 1.5B keys",
             vma_specs=_simple_layout(125 * gb, 108, seed=2)
             + [VMASpec(1 * gb, gap_before=16 * _MB, name="btree-meta", hot=True)],
-            trace_fn=_btree_trace,
+            chunk_fn=_btree_chunks,
             paper_working_set_gb=125,
             paper_total_vmas=109, paper_cov99=2, paper_clusters=2,
+            trace_len_fn=_quads,
         ),
         Workload(
             name="Canneal",
             description="Simulated annealing over 100M netlist elements",
             vma_specs=_simple_layout(61 * gb, 115, seed=3)
             + [VMASpec(1 * gb, gap_before=16 * _MB, name="canneal-meta", hot=True)],
-            trace_fn=_canneal_trace,
+            chunk_fn=_canneal_chunks,
             paper_working_set_gb=62,
             paper_total_vmas=116, paper_cov99=2, paper_clusters=2,
+            trace_len_fn=_pairs,
         ),
         Workload(
             name="XSBench",
             description="Monte Carlo neutron transport cross-section lookups",
             vma_specs=_simple_layout(84 * gb, 111, seed=4),
-            trace_fn=_xsbench_trace,
+            chunk_fn=_xsbench_chunks,
             paper_working_set_gb=84,
             paper_total_vmas=111, paper_cov99=1, paper_clusters=1,
+            trace_len_fn=_quads,
         ),
         Workload(
             name="Graph500",
             description="BFS on a scale-27 power-law graph",
             vma_specs=_simple_layout(123 * gb, 105, seed=5),
-            trace_fn=_graph500_trace,
+            chunk_fn=_graph500_chunks,
             paper_working_set_gb=123,
             paper_total_vmas=105, paper_cov99=1, paper_clusters=1,
         ),

@@ -1,0 +1,19 @@
+# dmtlint-scope: streaming
+"""Planted bug: whole-stream materialization in streaming-scoped code.
+
+The chunk iterator exists so the full trace never lives in memory;
+both functions below quietly restore the monolithic footprint.
+"""
+
+import numpy as np
+
+
+def filter_all(chunks):
+    # L701: gathers every chunk into one array — the monolithic trace
+    whole = np.concatenate(list(chunks))
+    return whole[whole % 2 == 0]
+
+
+def box_segment(segment):
+    # L702: boxes the segment into Python objects, duplicating it
+    return [va * 2 for va in segment.tolist()]

@@ -140,6 +140,97 @@ def test_concurrent_workers_share_one_cache_dir(tmp_path):
     assert np.array_equal(loaded[0], np.arange(256, dtype=np.int64))
 
 
+def _write_segments(cache, stage="stage1", key=KEY, parts=(10, 7, 5)):
+    writer = cache.segment_writer(stage, key, meta={"origin": "test"})
+    offset = 0
+    arrays = []
+    for rows in parts:
+        array = (np.arange(rows, dtype=np.int64) + offset) << 12
+        writer.append(array)
+        arrays.append(array)
+        offset += rows
+    writer.commit({"total_refs": offset})
+    return writer, np.concatenate(arrays)
+
+
+def test_segment_writer_round_trip(tmp_path):
+    cache = ArtifactCache(str(tmp_path))
+    writer, expected = _write_segments(cache)
+    loaded = cache.load_array("stage1", KEY)
+    assert loaded is not None
+    out, meta = loaded
+    assert np.array_equal(out, expected) and out.dtype == np.int64
+    assert meta == {"origin": "test", "total_refs": len(expected)}
+    assert cache.hits == 1 and cache.seg_hits == 1
+    assert cache.seg_misses == 0
+
+    reader = cache.open_segments("stage1", KEY)
+    assert reader is not None and len(reader) == 3
+    assert reader.total_rows == len(expected)
+    assert np.array_equal(reader.concatenated(), expected)
+    segments = list(reader)
+    assert [len(seg) for seg in segments] == [10, 7, 5]
+    assert np.array_equal(np.concatenate(segments), expected)
+
+
+def test_segment_writer_reader_skips_hit_counters(tmp_path):
+    cache = ArtifactCache(str(tmp_path))
+    writer, expected = _write_segments(cache)
+    assert np.array_equal(writer.reader().concatenated(), expected)
+    assert cache.hits == 0 and cache.seg_hits == 0
+
+
+def test_segment_writer_abort_removes_segments(tmp_path):
+    cache = ArtifactCache(str(tmp_path))
+    writer = cache.segment_writer("stage1", KEY)
+    writer.append(np.arange(4, dtype=np.int64))
+    writer.abort()
+    assert os.listdir(str(tmp_path)) == []
+    assert cache.load_array("stage1", KEY) is None
+
+
+def test_corrupt_segment_evicts_whole_entry(tmp_path):
+    """One rotten segment must take down the manifest and every other
+    segment: a partially-valid segmented entry is worse than a miss."""
+    cache = ArtifactCache(str(tmp_path))
+    writer, _ = _write_segments(cache)
+    victim = os.path.join(str(tmp_path), writer.key_digest + ".seg1.npy")
+    with open(victim, "wb") as handle:
+        handle.write(b"\x93NUMPY garbage")
+    assert cache.load_array("stage1", KEY) is None
+    assert cache.seg_evictions == 1 and cache.evictions == 1
+    leftovers = [name for name in os.listdir(str(tmp_path))
+                 if name.startswith(writer.key_digest)]
+    assert leftovers == []
+    # recovery: rewrite, then load cleanly
+    _write_segments(cache)
+    loaded = cache.load_array("stage1", KEY)
+    assert loaded is not None
+
+
+def test_corrupt_segment_raises_mid_iteration(tmp_path):
+    from repro.sim.artifacts import CorruptSegment
+
+    cache = ArtifactCache(str(tmp_path))
+    writer, _ = _write_segments(cache)
+    reader = cache.open_segments("stage1", KEY)
+    victim = os.path.join(str(tmp_path), writer.key_digest + ".seg2.npy")
+    with open(victim, "wb") as handle:
+        handle.write(b"nonsense")
+    with pytest.raises(CorruptSegment):
+        list(reader)
+    assert cache.seg_evictions == 1
+
+
+def test_open_segments_on_monolithic_entry_is_a_seg_miss(tmp_path):
+    cache = ArtifactCache(str(tmp_path))
+    cache.store_array("stage1", KEY, np.arange(8, dtype=np.int64))
+    assert cache.open_segments("stage1", KEY) is None
+    assert cache.seg_misses == 1
+    # but the monolithic load still works
+    assert cache.load_array("stage1", KEY) is not None
+
+
 def test_stage1_cache_round_trips_through_disk(tmp_path):
     cold = Stage1Cache(artifacts=ArtifactCache(str(tmp_path)))
     miss_vas = np.arange(100, dtype=np.int64) << 12

@@ -30,6 +30,7 @@ EXPECTED = {
     "kernel_list_bug.py": {"L605"},
     "kernel_raise_bug.py": {"L606"},
     "kernel_call_bug.py": {"L607"},
+    "stream_materialize_bug.py": {"L701", "L702"},
 }
 
 
@@ -64,6 +65,27 @@ def test_l402_requires_declared_oracle():
     violations = lint_paths([STATIC / "undeclared_kernel_bug.py"])
     assert [v.rule for v in violations] == ["L402"]
     assert "distilled_probe_kernel" in violations[0].message
+
+
+def test_l7_needs_streaming_scope():
+    # the same materializing code outside the streaming scope is fine
+    source = ("import numpy as np\n"
+              "def gather(chunks):\n"
+              "    return np.concatenate(list(chunks))\n")
+    assert lint_file(Path("elsewhere.py"), source=source) == []
+    scoped = "# dmtlint-scope: streaming\n" + source
+    rules = {v.rule for v in lint_file(Path("elsewhere.py"), source=scoped)}
+    assert rules == {"L701"}
+
+
+def test_l7_scopes_the_streaming_path_files():
+    from repro.analysis.lint.engine import STREAMING_FILES, FileContext
+
+    for parent, name in STREAMING_FILES:
+        path = PACKAGE / ("sim" if parent == "sim" else "workloads") / name
+        ctx = FileContext(path, path.read_text(encoding="utf-8"),
+                          LintConfig())
+        assert "streaming" in ctx.scopes, path
 
 
 def test_repro_package_is_lint_clean():

@@ -193,6 +193,13 @@ def _sweep_doc(latency: float = 100.0, wps: float = 50_000.0,
     return {"meta": {"wall_seconds": 1.0}, "cells": [cell]}
 
 
+def _stream_doc(rps: float = 2_000_000.0, rss_kb: int = 200_000):
+    """A BENCH_stage1_stream.json-shaped document."""
+    return {"meta": {"bench": "stage1_stream"},
+            "stream": {"nrefs": 10_000_000, "chunk": 1 << 20,
+                       "refs_per_sec": rps, "peak_rss_kb": rss_kb}}
+
+
 class TestRegressGate:
     def test_bench_walks_per_second(self):
         wps = regress.bench_walks_per_second(_bench_doc())
@@ -214,6 +221,31 @@ class TestRegressGate:
         found = regress.compare_bench(current, _bench_doc())
         assert [r.metric for r in found] == ["missing_cell"]
         assert "dmt" in found[0].key
+
+    def test_compare_stream_throughput_and_footprint(self):
+        base = _stream_doc()
+        assert regress.compare_stream(_stream_doc(), base) == []
+        # throughput drop past tolerance
+        slow = _stream_doc(rps=1_500_000.0)
+        assert [r.metric for r in regress.compare_stream(slow, base)] \
+            == ["refs_per_sec"]
+        # footprint growth past tolerance — the materialization signal
+        fat = _stream_doc(rss_kb=500_000)
+        assert [r.metric for r in regress.compare_stream(fat, base)] \
+            == ["peak_rss_kb"]
+        # within tolerance both ways
+        assert regress.compare_stream(
+            _stream_doc(rps=1_900_000.0, rss_kb=210_000), base) == []
+
+    def test_compare_stream_empty_documents(self):
+        assert regress.compare_stream({}, _stream_doc()) != []  # no data
+        assert regress.compare_stream(_stream_doc(), {}) == []  # no baseline
+
+    def test_trajectory_record_includes_stream(self):
+        record = regress.trajectory_record(None, None, [], 0.15, 0.01,
+                                           stream=_stream_doc())
+        assert record["stage1_stream"]["peak_rss_kb"] == 200_000
+        assert record["stage1_stream"]["refs_per_sec"] == 2_000_000.0
 
     def test_compare_sweep_latency_is_tight(self):
         # mean_latency is deterministic: +2% trips the 1% tolerance
@@ -264,21 +296,41 @@ class TestRegressGate:
         # a synthetic 20% walks/sec regression exits non-zero ...
         assert regress.run_gate(
             bench_path=regressed, baseline_bench_path=baseline,
-            trajectory_path=trajectory, out=lines.append) == 1
+            trajectory_path=trajectory, stream_path=None,
+            out=lines.append) == 1
         assert any("REGRESSION" in line for line in lines)
         assert not os.path.exists(trajectory)
 
         # ... a clean run exits 0 and appends to the trajectory ...
         assert regress.run_gate(
             bench_path=clean, baseline_bench_path=baseline,
-            trajectory_path=trajectory, out=lines.append) == 0
+            trajectory_path=trajectory, stream_path=None,
+            out=lines.append) == 0
         assert len(regress.load_document(trajectory)["records"]) == 1
 
         # ... and nothing to compare is a usage error.
         assert regress.run_gate(
             bench_path=str(tmp_path / "absent.json"),
             baseline_bench_path=baseline,
-            trajectory_path=None, out=lines.append) == 2
+            trajectory_path=None, stream_path=None,
+            out=lines.append) == 2
+
+    def test_run_gate_stream_comparison(self, tmp_path):
+        baseline = self._write(tmp_path / "stream_base.json", _stream_doc())
+        fat = self._write(tmp_path / "stream_fat.json",
+                          _stream_doc(rss_kb=500_000))
+        clean = self._write(tmp_path / "stream_ok.json", _stream_doc())
+        assert regress.run_gate(
+            bench_path=None, baseline_bench_path=None,
+            stream_path=fat, baseline_stream_path=baseline,
+            trajectory_path=None, out=lambda line: None) == 1
+        trajectory = str(tmp_path / "BENCH_trajectory.json")
+        assert regress.run_gate(
+            bench_path=None, baseline_bench_path=None,
+            stream_path=clean, baseline_stream_path=baseline,
+            trajectory_path=trajectory, out=lambda line: None) == 0
+        record = regress.load_document(trajectory)["records"][-1]
+        assert record["stage1_stream"]["peak_rss_kb"] == 200_000
 
     def test_run_gate_missing_sweep_baseline_is_usage_error(self, tmp_path):
         sweep = self._write(tmp_path / "sweep.json", _sweep_doc())

@@ -1,0 +1,264 @@
+"""The streaming stage-0→1 pipeline: bit-identity and constant memory.
+
+Contract under test (DESIGN.md §13): for every workload, seed, and
+chunk size — dividing or not — the concatenated chunk stream equals the
+monolithic trace draw for draw; the streamed TLB filter emits the same
+miss stream and reaches the same TLB/credit end state as the one-shot
+filter; and the machine-level streaming path is byte-identical to the
+monolithic path, cold or warm, with or without an artifact cache.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.arch import PageSize
+from repro.hw.config import xeon_gold_6138
+from repro.kernel.kernel import Kernel
+from repro.sim import tlb_vec
+from repro.sim.artifacts import ArtifactCache
+from repro.sim.machine import (
+    DEFAULT_STREAM_CHUNK,
+    STREAM_NREFS_THRESHOLD,
+    NativeSimulation,
+    SimConfig,
+)
+from repro.sim.simulator import Stage1Cache, make_size_lookup
+from repro.workloads import catalogue, get
+
+MB = 1 << 20
+WORKLOADS = sorted(catalogue(4096))
+SEEDS = (1, 7)
+#: 977 is prime (never divides nrefs); 512 and 4096 exercise small and
+#: page-sized chunks. nrefs=5000 is not a multiple of any of them.
+CHUNKS = (512, 977, 4096)
+NREFS = 5000
+
+
+def _layout(name, scale=4096):
+    kernel = Kernel(memory_bytes=512 * MB)
+    proc = kernel.create_process()
+    wl = get(name, scale)
+    return wl, wl.install(proc, populate=False), proc
+
+
+# --------------------------------------------------------------------- #
+# Satellite 3: generator chunk parity, all workloads x seeds x chunks
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("chunk", CHUNKS)
+def test_chunked_trace_is_bit_identical(name, seed, chunk):
+    wl, layout, _ = _layout(name)
+    mono = wl.generate_trace(layout, NREFS, seed=seed)
+    pieces = list(wl.generate_trace_chunks(layout, NREFS, seed=seed,
+                                           chunk=chunk))
+    assert all(p.dtype == np.int64 for p in pieces)
+    # every chunk but the last is exactly chunk-sized
+    assert all(len(p) == chunk for p in pieces[:-1])
+    assert np.array_equal(np.concatenate(pieces), mono), name
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_chunked_trace_tiny_nrefs_edges(name):
+    wl, layout, _ = _layout(name)
+    for nrefs in (0, 1, 2, 3, 5):
+        mono = wl.generate_trace(layout, nrefs, seed=3)
+        pieces = list(wl.generate_trace_chunks(layout, nrefs, seed=3,
+                                               chunk=2))
+        got = (np.concatenate(pieces) if pieces
+               else np.empty(0, dtype=np.int64))
+        assert np.array_equal(got, mono), (name, nrefs)
+
+
+def test_chunk_must_be_positive():
+    wl, layout, _ = _layout("GUPS")
+    with pytest.raises(ValueError):
+        list(wl.generate_trace_chunks(layout, 100, seed=0, chunk=0))
+
+
+# --------------------------------------------------------------------- #
+# TLBFilterStream: state carried across chunk boundaries
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("accept", [None,
+                                    {PageSize.SIZE_4K: 0.37,
+                                     PageSize.SIZE_2M: 0.81}])
+@pytest.mark.parametrize("chunk", CHUNKS)
+def test_stream_filter_matches_one_shot(accept, chunk):
+    wl, layout, proc = _layout("Redis")
+    trace = wl.generate_trace(layout, NREFS, seed=1)
+    machine = xeon_gold_6138()
+    lookup = make_size_lookup(proc.page_table)
+
+    mono = tlb_vec.filter_misses(trace, machine, lookup,
+                                 accept_rates=accept)
+    oracle = tlb_vec.TLBFilterStream(machine, lookup, accept_rates=accept)
+    oracle_misses = oracle.feed(trace)
+
+    stream = tlb_vec.TLBFilterStream(machine, lookup, accept_rates=accept)
+    segments = [stream.feed(trace[i:i + chunk])
+                for i in range(0, len(trace), chunk)]
+    got = np.concatenate([s for s in segments if s.size]) \
+        if any(s.size for s in segments) else np.empty(0, dtype=np.int64)
+
+    assert np.array_equal(mono, oracle_misses)
+    assert np.array_equal(got, mono)
+    assert stream.total_refs == oracle.total_refs == len(trace)
+    assert stream.total_misses == len(mono)
+    # identical TLB way lists and thinning credits after the last chunk
+    assert stream.end_state() == oracle.end_state()
+
+
+def test_stream_filter_empty_chunk_is_noop():
+    wl, layout, proc = _layout("GUPS")
+    stream = tlb_vec.TLBFilterStream(xeon_gold_6138(),
+                                     make_size_lookup(proc.page_table))
+    out = stream.feed(np.empty(0, dtype=np.int64))
+    assert out.size == 0 and stream.total_refs == 0
+
+
+# --------------------------------------------------------------------- #
+# Machine level: streaming == monolithic, cold and warm
+# --------------------------------------------------------------------- #
+
+BASE = SimConfig(scale=2048, nrefs=40_000, seed=3)
+
+
+def test_resolved_stream_chunk_policy():
+    assert BASE.resolved_stream_chunk() is None  # below threshold
+    forced = dataclasses.replace(BASE, stream_chunk=9000)
+    assert forced.resolved_stream_chunk() == 9000
+    off = dataclasses.replace(BASE, nrefs=STREAM_NREFS_THRESHOLD,
+                              stream_chunk=0)
+    assert off.resolved_stream_chunk() is None   # 0 forces monolithic
+    auto = dataclasses.replace(BASE, nrefs=STREAM_NREFS_THRESHOLD)
+    assert auto.resolved_stream_chunk() == DEFAULT_STREAM_CHUNK
+    scalar = dataclasses.replace(BASE, nrefs=STREAM_NREFS_THRESHOLD,
+                                 engine="scalar")
+    assert scalar.resolved_stream_chunk() is None  # vec-only auto
+
+
+def test_stream_chunk_rejects_scalar_engine():
+    with pytest.raises(ValueError):
+        SimConfig(stream_chunk=1000, engine="scalar")
+    with pytest.raises(ValueError):
+        SimConfig(stream_chunk=-1)
+
+
+@pytest.mark.parametrize("name", ["GUPS", "Redis", "BTree"])
+def test_machine_streaming_matches_monolithic(name):
+    mono = NativeSimulation(name, dataclasses.replace(BASE, stream_chunk=0))
+    stream = NativeSimulation(name,
+                              dataclasses.replace(BASE, stream_chunk=7001))
+    assert mono.stage1_streamed is False
+    assert stream.stage1_streamed is True
+    assert stream.tlb.total_refs == mono.tlb.total_refs
+    assert np.array_equal(np.asarray(stream.tlb.miss_vas),
+                          np.asarray(mono.tlb.miss_vas)), name
+
+
+def test_machine_streaming_matches_monolithic_1m_gups():
+    """The issue's 10^6-reference acceptance check."""
+    cfg = SimConfig(scale=1024, nrefs=1_000_000, seed=0)
+    mono = NativeSimulation("GUPS", dataclasses.replace(cfg, stream_chunk=0))
+    stream = NativeSimulation(
+        "GUPS", dataclasses.replace(cfg, stream_chunk=1 << 17))
+    assert np.array_equal(np.asarray(stream.tlb.miss_vas),
+                          np.asarray(mono.tlb.miss_vas))
+    assert stream.tlb.total_refs == mono.tlb.total_refs == 1_000_000
+
+
+def test_streaming_persists_segmented_artifacts(tmp_path):
+    cfg = dataclasses.replace(BASE, stream_chunk=9000)
+    cold = NativeSimulation(
+        "Redis", cfg, stage1=Stage1Cache(artifacts=ArtifactCache(
+            str(tmp_path))))
+    assert cold.stage1_source == "computed"
+
+    # warm run: the segmented stage-1 entry is served from disk
+    warm_cache = ArtifactCache(str(tmp_path))
+    warm = NativeSimulation("Redis", cfg,
+                            stage1=Stage1Cache(artifacts=warm_cache))
+    assert warm.stage1_source == "disk"
+    assert warm_cache.seg_hits >= 1
+    assert np.array_equal(np.asarray(warm.tlb.miss_vas),
+                          np.asarray(cold.tlb.miss_vas))
+
+    # a monolithic run against the same cache reads the segmented entry
+    mono = NativeSimulation(
+        "Redis", dataclasses.replace(cfg, stream_chunk=0),
+        stage1=Stage1Cache(artifacts=ArtifactCache(str(tmp_path))))
+    assert mono.stage1_source == "disk"
+    assert np.array_equal(np.asarray(mono.tlb.miss_vas),
+                          np.asarray(cold.tlb.miss_vas))
+
+
+def test_streaming_reuses_spilled_trace_segments(tmp_path):
+    """Evicting stage 1 but keeping the trace segments: the second
+    streaming run replays the stored trace instead of regenerating."""
+    import glob
+    import json
+    import os
+
+    cfg = dataclasses.replace(BASE, stream_chunk=9000)
+    cold = NativeSimulation(
+        "GUPS", cfg, stage1=Stage1Cache(artifacts=ArtifactCache(
+            str(tmp_path))))
+    for path in glob.glob(os.path.join(str(tmp_path), "*.json")):
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("stage") == "stage1":
+            ArtifactCache(str(tmp_path)).evict(
+                os.path.basename(path)[:-len(".json")])
+    rerun_cache = ArtifactCache(str(tmp_path))
+    rerun = NativeSimulation("GUPS", cfg,
+                             stage1=Stage1Cache(artifacts=rerun_cache))
+    assert rerun.stage1_source == "computed"
+    assert rerun_cache.seg_hits >= 1  # the trace segments were read back
+    assert np.array_equal(np.asarray(rerun.tlb.miss_vas),
+                          np.asarray(cold.tlb.miss_vas))
+
+
+def test_stream_bench_budget_gate(tmp_path):
+    """benchmarks/bench_stage1_stream.py is CI's RSS tripwire: it must
+    write its document and exit 0 under a generous budget, and exit 1
+    when the budget is impossibly tight."""
+    import json
+    import os
+    import subprocess
+    import sys
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    script = os.path.join(root, "benchmarks", "bench_stage1_stream.py")
+    out = str(tmp_path / "bench.json")
+    base = [sys.executable, script, "--workload", "GUPS", "--scale",
+            "1024", "--nrefs", "200000", "--chunk", "65536"]
+    env = dict(os.environ, PYTHONPATH=os.path.join(root, "src"))
+
+    ok = subprocess.run(base + ["--rss-budget-mb", "4096", "--out", out],
+                        env=env, capture_output=True, text=True)
+    assert ok.returncode == 0, ok.stderr
+    with open(out, encoding="utf-8") as handle:
+        document = json.load(handle)
+    record = document["stream"]
+    assert document["meta"]["bench"] == "stage1_stream"
+    assert record["streamed"] is True
+    assert record["total_refs"] == 200000
+    assert record["refs_per_sec"] > 0 and record["peak_rss_kb"] > 0
+
+    tight = subprocess.run(base + ["--rss-budget-mb", "10", "--out", "-"],
+                           env=env, capture_output=True, text=True)
+    assert tight.returncode == 1
+    assert "exceeds" in tight.stderr
+
+
+def test_streaming_cell_field_is_deterministic():
+    """``stage1_streamed`` must depend only on the config (the CI
+    regress gate compares it between cold and warm sweep runs)."""
+    cfg = dataclasses.replace(BASE, stream_chunk=9000)
+    runs = [NativeSimulation("GUPS", cfg).stage1_streamed
+            for _ in range(2)]
+    assert runs == [True, True]

@@ -80,7 +80,8 @@ class TestTraces:
         wl = get("Redis", 4096)
         layout = wl.install(proc, populate=False)
         expected_rng = np.random.default_rng(7 ^ zlib.crc32(b"Redis"))
-        expected = wl.trace_fn(wl, layout, 2000, expected_rng).astype(np.int64)
+        pieces = list(wl.chunk_fn(wl, layout, 2000, expected_rng, 512))
+        expected = np.concatenate(pieces).astype(np.int64)
         assert np.array_equal(wl.generate_trace(layout, 2000, seed=7),
                               expected)
 
