@@ -11,6 +11,12 @@ Examples::
     python -m repro sweep --env native,virt --pages both --out sweep.json
     python -m repro sweep --env native --trace trace.jsonl
     python -m repro sweep --env native --artifact-cache /tmp/repro-cache
+    python -m repro sweep --env native --resume jobs/grid-a
+    python -m repro jobs submit --env native --workers 4
+    python -m repro jobs status .repro-jobs/<job_id>
+    python -m repro jobs tail .repro-jobs/<job_id> --follow
+    python -m repro jobs resume .repro-jobs/<job_id>
+    python -m repro jobs cancel .repro-jobs/<job_id>
     python -m repro run --workload GUPS --env virt --artifact-cache cache/
     python -m repro regress --sweep sweep.json
     python -m repro table1
@@ -119,14 +125,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.sim.sweep import run_sweep, summarize
-
+def _grid_args(args: argparse.Namespace):
+    """Parse the shared sweep-grid flags into run_sweep-style values."""
     envs = [env for env in args.env.split(",") if env]
-    unknown = set(envs) - set(ENVIRONMENTS)
-    if unknown:
-        print(f"unknown environment(s): {sorted(unknown)}", file=sys.stderr)
-        return 2
     thp_modes = {"4k": (False,), "thp": (True,), "both": (False, True)}
     workloads = [w for w in args.workloads.split(",") if w] \
         if args.workloads else None
@@ -134,33 +135,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.designs else None
     artifact_dir = None if args.no_artifact_cache \
         else (args.artifact_cache or ".repro-artifacts")
+    return envs, workloads, designs, thp_modes[args.pages], artifact_dir
 
-    try:
-        document = run_sweep(
-            envs=envs, workloads=workloads, designs=designs,
-            thp_modes=thp_modes[args.pages], workers=args.workers,
-            out_path=args.out, progress=print, trace_path=args.trace,
-            artifact_dir=artifact_dir,
-            scale=args.scale, nrefs=args.nrefs, seed=args.seed,
-            levels=args.levels, register_count=args.register_count,
-            walk_engine=args.walk_engine, sanitize=args.sanitize,
-            stream_chunk=args.stream_chunk,
-        )
-    except KeyError as error:
-        # unknown design: no swept environment provides it
-        print(f"error: {error.args[0] if error.args else error}",
-              file=sys.stderr)
-        return 2
+
+def _config_kwargs(args: argparse.Namespace) -> dict:
+    """The SimConfig kwargs shared by sweep and jobs submit."""
+    return dict(scale=args.scale, nrefs=args.nrefs, seed=args.seed,
+                levels=args.levels, register_count=args.register_count,
+                walk_engine=args.walk_engine, sanitize=args.sanitize,
+                stream_chunk=args.stream_chunk)
+
+
+def _print_sweep_summary(document: dict, args: argparse.Namespace,
+                         artifact_dir) -> int:
+    from repro.sim.sweep import summarize
+
+    meta = document["meta"]
+    title = (f"Sweep: {meta['cells']} cells in "
+             f"{meta['wall_seconds']:.1f}s ({meta['workers']} worker(s))")
+    job = meta.get("job")
+    if job:
+        title += (f" — job {job['job_id']}: {job['resumed_groups']} "
+                  f"group(s) from journal, {job['retried_shards']} "
+                  f"retried shard(s)")
     print(format_table(
         ["env", "workload", "pages", "design", "cycles/walk",
          "walk speedup", "walks/s", "peak RSS"],
         summarize(document),
-        title=f"Sweep: {document['meta']['cells']} cells in "
-              f"{document['meta']['wall_seconds']:.1f}s "
-              f"({document['meta']['workers']} worker(s))",
+        title=title,
     ))
     if args.out:
-        print(f"\nwrote {document['meta']['cells']} cells to {args.out}")
+        print(f"\nwrote {meta['cells']} cells to {args.out}")
     if args.trace:
         print(f"trace spans appended to {args.trace}")
     if artifact_dir:
@@ -168,11 +173,94 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                    if cell.get("stage1_source") == "disk")
         print(f"artifact cache {artifact_dir}: {disk} cell(s) served "
               f"stage 1 from disk")
-    errors = document["meta"]["metrics"]["sweep.error_cells"]
+    errors = meta["metrics"]["sweep.error_cells"]
     if errors:
         print(f"warning: {errors} error cell(s) in the sweep",
               file=sys.stderr)
+    if meta.get("partial"):
+        print(f"warning: partial sweep — missing group(s): "
+              f"{meta.get('missing_groups')}", file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.sweep import run_sweep
+
+    envs, workloads, designs, thp_modes, artifact_dir = _grid_args(args)
+    unknown = set(envs) - set(ENVIRONMENTS)
+    if unknown:
+        print(f"unknown environment(s): {sorted(unknown)}", file=sys.stderr)
+        return 2
+    try:
+        document = run_sweep(
+            envs=envs, workloads=workloads, designs=designs,
+            thp_modes=thp_modes, workers=args.workers,
+            out_path=args.out, progress=print, trace_path=args.trace,
+            artifact_dir=artifact_dir, resume_dir=args.resume,
+            **_config_kwargs(args),
+        )
+    except KeyError as error:
+        # unknown design: no swept environment provides it
+        print(f"error: {error.args[0] if error.args else error}",
+              file=sys.stderr)
+        return 2
+    return _print_sweep_summary(document, args, artifact_dir)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.sim import jobs
+
+    if args.jobs_command == "submit":
+        envs, workloads, designs, thp_modes, artifact_dir = _grid_args(args)
+        try:
+            spec = jobs.JobSpec.build(envs=envs, workloads=workloads,
+                                      designs=designs, thp_modes=thp_modes,
+                                      **_config_kwargs(args))
+        except KeyError as error:
+            print(f"error: {error.args[0] if error.args else error}",
+                  file=sys.stderr)
+            return 2
+        job_dir, document = jobs.submit(
+            spec, base_dir=args.dir, job_dir=args.job_dir,
+            workers=args.workers, shard_timeout=args.timeout,
+            max_retries=args.max_retries, out_path=args.out,
+            progress=print, trace_path=args.trace,
+            artifact_dir=artifact_dir)
+        print(f"job {spec.job_id} journaled under {job_dir}")
+        return _print_sweep_summary(document, args, artifact_dir)
+    if args.jobs_command == "status":
+        info = jobs.status(args.job_dir)
+        print(jobs.format_status(info))
+        return 2 if info["state"] == "missing" else 0
+    if args.jobs_command == "tail":
+        try:
+            jobs.tail(args.job_dir, count=args.count, follow=args.follow)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    if args.jobs_command == "resume":
+        try:
+            document = jobs.resume(
+                args.job_dir, workers=args.workers,
+                shard_timeout=args.timeout, max_retries=args.max_retries,
+                out_path=args.out, progress=print, trace_path=args.trace,
+                artifact_dir=None if args.no_artifact_cache
+                else (args.artifact_cache or ".repro-artifacts"))
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        job = document["meta"]["job"]
+        print(f"job {job['job_id']}: {job['resumed_groups']} group(s) "
+              f"from journal, {job['retried_shards']} retried shard(s)")
+        return 1 if document["meta"].get("partial") else 0
+    if args.jobs_command == "cancel":
+        if jobs.cancel(args.job_dir):
+            print(f"cancel requested for {args.job_dir}")
+            return 0
+        print(f"{args.job_dir}: job already finished", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled jobs command {args.jobs_command!r}")
 
 
 def _cmd_regress(args: argparse.Namespace) -> int:
@@ -278,20 +366,78 @@ def main(argv=None) -> int:
                      help="stage-1 TLB-filter engine (scalar = reference "
                           "oracle)")
 
-    sweep = sub.add_parser("sweep", parents=[common, simopts],
+    gridopts = argparse.ArgumentParser(add_help=False)
+    gridopts.add_argument("--env", default="native",
+                          help="comma-separated environments "
+                               "(default: native)")
+    gridopts.add_argument("--workloads", default="",
+                          help="comma-separated subset (default: all seven)")
+    gridopts.add_argument("--designs", default="",
+                          help="comma-separated subset "
+                               "(default: all per env)")
+    gridopts.add_argument("--pages", choices=("4k", "thp", "both"),
+                          default="4k",
+                          help="page-size modes to sweep (default: 4k)")
+    gridopts.add_argument("--workers", type=int, default=None,
+                          help="worker processes (default: all cores)")
+
+    sweep = sub.add_parser("sweep", parents=[common, simopts, gridopts],
                            help="run the workload×design grid in parallel")
-    sweep.add_argument("--env", default="native",
-                       help="comma-separated environments (default: native)")
-    sweep.add_argument("--workloads", default="",
-                       help="comma-separated subset (default: all seven)")
-    sweep.add_argument("--designs", default="",
-                       help="comma-separated subset (default: all per env)")
-    sweep.add_argument("--pages", choices=("4k", "thp", "both"), default="4k",
-                       help="page-size modes to sweep (default: 4k)")
-    sweep.add_argument("--workers", type=int, default=None,
-                       help="worker processes (default: all cores)")
     sweep.add_argument("--out", default="sweep_results.json",
                        help="JSON result store (default: sweep_results.json)")
+    sweep.add_argument("--resume", default=None, metavar="DIR",
+                       help="run as a durable job journaled under DIR: "
+                            "completed groups persist as they finish and "
+                            "an interrupted sweep restarts from the "
+                            "journal, re-running only missing groups "
+                            "(a fresh DIR starts a new job)")
+
+    jobopts = argparse.ArgumentParser(add_help=False)
+    jobopts.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-shard timeout; a shard past it is "
+                              "retried on a fresh pool (default: none)")
+    jobopts.add_argument("--max-retries", type=int, default=2,
+                         help="re-runs of a shard after worker-death/"
+                              "timeout failures (default: 2)")
+    jobopts.add_argument("--out", default=None,
+                         help="also write the assembled sweep JSON here")
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="resumable sharded sweep jobs (submit/status/tail/"
+                     "resume/cancel)")
+    jobs_sub = jobs_parser.add_subparsers(dest="jobs_command", required=True)
+    jobs_submit = jobs_sub.add_parser(
+        "submit", parents=[common, simopts, gridopts, jobopts],
+        help="journal a sweep grid as a job and run it to completion")
+    jobs_submit.add_argument("--dir", default=".repro-jobs",
+                             help="base directory; the job lands in "
+                                  "<dir>/<job_id> (default: .repro-jobs)")
+    jobs_submit.add_argument("--job-dir", default=None,
+                             help="explicit job directory (overrides "
+                                  "--dir/<job_id>)")
+    jobs_status = jobs_sub.add_parser("status",
+                                      help="summarize a job's journal")
+    jobs_status.add_argument("job_dir")
+    jobs_tail = jobs_sub.add_parser("tail",
+                                    help="print journal records as they "
+                                         "are appended")
+    jobs_tail.add_argument("job_dir")
+    jobs_tail.add_argument("-n", "--count", type=int, default=20,
+                           help="journal records to print (default 20)")
+    jobs_tail.add_argument("--follow", action="store_true",
+                           help="keep streaming until the job ends")
+    jobs_resume = jobs_sub.add_parser(
+        "resume", parents=[jobopts],
+        help="re-run the missing shards of an interrupted job")
+    jobs_resume.add_argument("job_dir")
+    jobs_resume.add_argument("--workers", type=int, default=None)
+    jobs_resume.add_argument("--trace", default=None, metavar="PATH")
+    jobs_resume.add_argument("--artifact-cache", default=None, metavar="DIR")
+    jobs_resume.add_argument("--no-artifact-cache", action="store_true")
+    jobs_cancel = jobs_sub.add_parser(
+        "cancel", help="ask the running scheduler to drain and stop")
+    jobs_cancel.add_argument("job_dir")
 
     regress = sub.add_parser(
         "regress",
@@ -347,7 +493,8 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep,
-               "table1": _cmd_table1, "regress": _cmd_regress}
+               "jobs": _cmd_jobs, "table1": _cmd_table1,
+               "regress": _cmd_regress}
     return handler[args.command](args)
 
 

@@ -4,9 +4,11 @@ Three cooperating pieces (DESIGN.md §9):
 
 * :mod:`repro.obs.metrics` — a process-wide registry of named counters,
   gauges, and histograms. The hardware structures (TLBs, caches, PWCs),
-  walkers, DMT fetchers, the stage-1 memo, the sweep runner, and the
-  multi-process scheduler all register their counters here, so one
-  ``snapshot()`` call yields every live statistic as a flat dict.
+  walkers, DMT fetchers, the stage-1 memo, the sweep runner, the
+  multi-process scheduler, and the resumable job layer (e.g.
+  ``sweep.resumed_groups``/``sweep.retried_shards``) all register their
+  counters here, so one ``snapshot()`` call yields every live statistic
+  as a flat dict.
 * :mod:`repro.obs.trace` — nested wall-time/RSS spans emitted as a JSONL
   event stream, enabled with ``--trace <path>`` on ``run``/``sweep``.
 * :mod:`repro.obs.regress` — the bench-regression gate behind

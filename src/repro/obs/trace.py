@@ -16,6 +16,12 @@ idempotent for the same path so pool workers can re-enter per task), and
 as one line, so several worker processes can append to the same file;
 children close before their parents, so child events precede parent
 events in the stream.
+
+Stream ownership is cooperative: :func:`active` reports whether a
+stream is already open, and code that would open one on a caller's
+behalf (``run_sweep``, the job scheduler's ``job.run`` span) checks it
+first and only calls :func:`disable` on streams it opened itself, so a
+caller-enabled trace survives the call.
 """
 
 from __future__ import annotations

@@ -1,0 +1,173 @@
+"""Crash-safe JSONL journal: the durable state of one sweep job.
+
+The journal is an append-only ``journal.jsonl`` under the job
+directory. Every record is one JSON object on one line, written with a
+single ``write`` + ``flush`` + ``fsync`` so a completed append survives
+a SIGKILL or power loss; the only record a crash can damage is the one
+being appended, which is then a *torn* final line. :func:`read_journal`
+tolerates exactly that: parsing stops at the first undecodable line and
+reports the tail as torn, so a resume sees every fully-appended record
+and re-runs the shard whose append was cut short.
+
+Record types (all carry ``"type"``):
+
+* ``job`` — written once at creation; holds the spec's canonical form
+  and ``job_id``. Resume verifies the grid against it instead of
+  trusting CLI flags.
+* ``shard`` — one completed (workload, page-size) group: ``shard_id``,
+  ``attempt``, the group's grid ``cells`` (full per-cell telemetry),
+  wall ``seconds``, worker ``pid``. The last record per ``shard_id``
+  wins; a shard journaled here is never re-run.
+* ``retry`` — a failed attempt being re-queued: the error, the attempt
+  number, and the backoff applied before the next round.
+* ``failed`` — a shard whose retries are exhausted; the final document
+  carries fabricated per-(env, design) error cells for it.
+* ``heartbeat`` — periodic progress (done/total counts, running shard
+  ids) so ``jobs status``/``tail`` can watch a live job.
+* ``resume`` — appended whenever a scheduler re-attaches to an
+  existing journal (records whether the tail was torn).
+* ``cancel`` — a cancellation request was observed.
+* ``done`` — the job completed with every shard journaled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+#: File names inside a job directory.
+JOURNAL_NAME = "journal.jsonl"
+CANCEL_NAME = "CANCEL"
+
+
+def journal_path(job_dir: str) -> str:
+    return os.path.join(job_dir, JOURNAL_NAME)
+
+
+def cancel_path(job_dir: str) -> str:
+    return os.path.join(job_dir, CANCEL_NAME)
+
+
+class Journal:
+    """Append-only writer for one job's ``journal.jsonl``.
+
+    Opened lazily in append mode so several processes (a scheduler and
+    a ``jobs cancel`` client) can interleave whole-line appends; each
+    record is fsynced before :meth:`append` returns.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = None
+
+    def append(self, record: Dict) -> Dict:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _parse(data: bytes) -> Tuple[List[Dict], int, bool]:
+    """``(records, valid_prefix_bytes, torn)`` of raw journal bytes.
+
+    Parsing stops at the first line that fails to decode *or* at a
+    final line with no trailing newline — a complete append always ends
+    with one, so a bare tail is the record a crash cut short even when
+    its prefix happens to parse. ``valid_prefix_bytes`` is where a
+    repair should truncate.
+    """
+    records: List[Dict] = []
+    offset = 0
+    for line in data.split(b"\n"):
+        end = offset + len(line)
+        if not line.strip():
+            offset = end + 1
+            continue
+        if end >= len(data):  # final line, no trailing newline
+            return records, offset, True
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except ValueError:
+            return records, offset, True
+        if not isinstance(record, dict):
+            return records, offset, True
+        records.append(record)
+        offset = end + 1
+    return records, min(offset, len(data)), False
+
+
+def read_journal(path: str) -> Tuple[List[Dict], bool]:
+    """Parse a journal, dropping a torn (half-appended) tail.
+
+    Returns ``(records, torn)``: every fully-appended record, and
+    whether a torn tail was discarded to get them.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], False
+    records, _, torn = _parse(data)
+    return records, torn
+
+
+def repair_journal(path: str) -> bool:
+    """Truncate a torn tail so new appends start on a fresh line.
+
+    Without this, appending to a torn journal would concatenate the new
+    record onto the partial line, corrupting *both*. Returns whether a
+    truncation happened.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return False
+    _, valid, torn = _parse(data)
+    if torn:
+        with open(path, "r+b") as handle:
+            handle.truncate(valid)
+    return torn
+
+
+def job_record(records: List[Dict]) -> Optional[Dict]:
+    """The journal's ``job`` header record, if one was fully appended."""
+    for record in records:
+        if record.get("type") == "job":
+            return record
+    return None
+
+
+def completed_shards(records: List[Dict]) -> Dict[str, Dict]:
+    """``{shard_id: record}`` of every journaled shard (last one wins)."""
+    done: Dict[str, Dict] = {}
+    for record in records:
+        if record.get("type") == "shard":
+            done[record["shard_id"]] = record
+    return done
+
+
+def retry_count(records: List[Dict]) -> int:
+    return sum(1 for record in records if record.get("type") == "retry")
+
+
+def is_done(records: List[Dict]) -> bool:
+    return any(record.get("type") == "done" for record in records)
+
+
+def is_cancelled(records: List[Dict]) -> bool:
+    return any(record.get("type") == "cancel" for record in records)

@@ -81,6 +81,88 @@ def error_cell(env: str, workload: str, thp: bool,
     }
 
 
+def validate_grid(envs: Sequence[str],
+                  designs: Optional[Sequence[str]] = None) -> None:
+    """Raise :class:`KeyError` for an unknown environment or a design no
+    swept environment provides (a design valid in only *some* swept
+    environments is fine — it just runs where available)."""
+    for env in envs:
+        if env not in ENVIRONMENTS:
+            raise KeyError(f"unknown environment {env!r}; "
+                           f"have {sorted(ENVIRONMENTS)}")
+    known_designs = set()
+    for env in envs:
+        known_designs.update(ENVIRONMENTS[env].designs)
+    for design in designs or ():
+        if design not in known_designs:
+            raise KeyError(f"unknown design {design!r}; swept environments "
+                           f"provide {sorted(known_designs)}")
+
+
+def dead_group_cells(task: GroupTask, exc: BaseException) -> List[Dict]:
+    """Error cells for a group whose *worker process* died.
+
+    When a pool worker is OOM-killed or segfaults there is no per-cell
+    result to report, but collapsing the group into one ``design=None``
+    cell per environment would make it impossible for regress/diff
+    tooling to see *which* cells are missing. Fabricate one error cell
+    per (environment, requested design) — the task's design list when
+    given, the environment class's full design set when sweeping all —
+    so a dead group has exactly as many cells as a healthy one.
+    """
+    envs, workload, thp, designs = task[0], task[1], task[2], task[3]
+    cells: List[Dict] = []
+    for env in envs:
+        env_cls = ENVIRONMENTS.get(env)
+        available = tuple(env_cls.designs) if env_cls is not None else ()
+        if designs:
+            requested = [d for d in designs if d in available]
+        else:
+            requested = list(available)
+        if not requested:
+            cells.append(error_cell(env, workload, thp, None, exc))
+            continue
+        for design in requested:
+            cells.append(error_cell(env, workload, thp, design, exc))
+    return cells
+
+
+def cell_sort_key(cell: Dict) -> Tuple:
+    """Deterministic document order for grid cells."""
+    return (cell["env"], cell["workload"], cell["thp"],
+            cell.get("design") or "")
+
+
+def write_document(document: Dict, out_path: str) -> None:
+    """Serialize a sweep document atomically (tmp + ``os.replace``).
+
+    A reader never observes a half-written JSON file, and an interrupt
+    mid-dump leaves any previous complete document in place.
+    """
+    tmp = f"{out_path}.tmp{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, out_path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        raise
+
+
+def effective_workers(workers: int, tasks: int) -> int:
+    """The pool size a sweep actually runs with.
+
+    ``workers`` of 0/1 (or a single task) runs inline — one process, no
+    pool — and a larger pool is capped at the task count; sweep
+    documents record this value, not the requested one.
+    """
+    if workers <= 1 or tasks <= 1:
+        return 1
+    return min(workers, tasks)
+
+
 def run_group(task: GroupTask) -> List[Dict]:
     """Run one (workload, thp) group across its environments.
 
@@ -219,6 +301,7 @@ def run_sweep(envs: Sequence[str] = ("native",),
               progress: Optional[Callable[[str], None]] = None,
               trace_path: Optional[str] = None,
               artifact_dir: Optional[str] = None,
+              resume_dir: Optional[str] = None,
               **config_kwargs) -> Dict:
     """Run the grid, fanning groups across ``workers`` processes.
 
@@ -228,32 +311,45 @@ def run_sweep(envs: Sequence[str] = ("native",),
     unknown environment or a design no swept environment provides (a
     design valid in only *some* swept environments is fine — it just
     runs where available). With ``trace_path`` set, every group's span
-    stream appends to that JSONL file (:mod:`repro.obs.trace`). With
-    ``artifact_dir`` set, workers share a cross-run
+    stream appends to that JSONL file (:mod:`repro.obs.trace`); if the
+    caller already opened a trace stream, ``run_sweep`` leaves it open
+    on exit instead of closing it from under them. With ``artifact_dir``
+    set, workers share a cross-run
     :class:`~repro.sim.artifacts.ArtifactCache` there: traces and
     TLB-miss streams computed by any previous run (or concurrent
     worker) are reused instead of recomputed, and each cell's
     ``stage1_source`` telemetry says whether its stage 1 came from
-    ``"disk"``. Returns the JSON-ready document
-    ``{"meta": ..., "cells": [...]}`` and writes it to ``out_path``
-    when given.
+    ``"disk"``.
+
+    With ``resume_dir`` set, the sweep runs as a durable *job* through
+    :mod:`repro.sim.jobs`: completed groups are journaled under that
+    directory as they finish, an interrupted sweep restarts from the
+    journal re-running only missing groups, and dead pool workers are
+    retried with backoff (DESIGN.md §14).
+
+    Returns the JSON-ready document ``{"meta": ..., "cells": [...]}``
+    and writes it to ``out_path`` when given (atomic tmp + rename). An
+    interrupted sweep (Ctrl-C, fatal error) still flushes the cells
+    completed so far to ``out_path`` — marked ``meta.partial`` — before
+    the exception propagates.
     """
-    for env in envs:
-        if env not in ENVIRONMENTS:
-            raise KeyError(f"unknown environment {env!r}; "
-                           f"have {sorted(ENVIRONMENTS)}")
-    known_designs = set()
-    for env in envs:
-        known_designs.update(ENVIRONMENTS[env].designs)
-    for design in designs or ():
-        if design not in known_designs:
-            raise KeyError(f"unknown design {design!r}; swept environments "
-                           f"provide {sorted(known_designs)}")
+    validate_grid(envs, designs)
+    if resume_dir is not None:
+        # Durable path: the one-shot CLI becomes a thin client of the
+        # jobs layer. Imported lazily — jobs imports this module.
+        from repro.sim.jobs import run_resumable_sweep
+
+        return run_resumable_sweep(
+            resume_dir, envs=envs, workloads=workloads, designs=designs,
+            thp_modes=thp_modes, workers=workers, out_path=out_path,
+            progress=progress, trace_path=trace_path,
+            artifact_dir=artifact_dir, **config_kwargs)
     tasks = grid_tasks(envs, workloads, designs, thp_modes,
                        trace_path=trace_path, artifact_dir=artifact_dir,
                        **config_kwargs)
     if workers is None:
         workers = os.cpu_count() or 1
+    pool_size = effective_workers(workers, len(tasks))
     notify = progress or (lambda message: None)
 
     # Parent-side progress counters; pool workers count in their own
@@ -261,14 +357,47 @@ def run_sweep(envs: Sequence[str] = ("native",),
     groups_done = metrics.counter("sweep.groups")
     cells_done = metrics.counter("sweep.cells")
     errors_seen = metrics.counter("sweep.error_cells")
+    # Only close the process-global trace stream on exit if this call
+    # opened it: a caller (repro run --trace, a jobs client running
+    # several sweeps) that enabled tracing before entry keeps its
+    # stream.
+    owns_trace = bool(trace_path) and not obs_trace.active()
     if trace_path:
         obs_trace.enable(trace_path)
 
     started = time.time()
     cells: List[Dict] = []
     done = 0
+
+    def document_for(partial: bool = False) -> Dict:
+        meta = {
+            "envs": list(envs),
+            "workloads": list(workloads or ALL_WORKLOADS),
+            "designs": list(designs) if designs else "all",
+            "thp_modes": [bool(t) for t in thp_modes],
+            "config": dict(config_kwargs),
+            "workers": pool_size,
+            "requested_workers": workers,
+            "groups": len(tasks),
+            "cells": len(cells),
+            "wall_seconds": time.time() - started,
+            "started_at": time.strftime("%Y-%m-%dT%H:%M:%S%z",
+                                        time.localtime(started)),
+            "trace": trace_path,
+            "artifact_cache": artifact_dir,
+            "metrics": {
+                "sweep.groups": groups_done.value,
+                "sweep.cells": cells_done.value,
+                "sweep.error_cells": errors_seen.value,
+            },
+        }
+        if partial:
+            meta["partial"] = True
+            meta["completed_groups"] = done
+        return {"meta": meta, "cells": sorted(cells, key=cell_sort_key)}
+
     try:
-        if workers <= 1 or len(tasks) <= 1:
+        if pool_size == 1:
             for task in tasks:
                 group_cells = run_group(task)
                 cells.extend(group_cells)
@@ -280,8 +409,7 @@ def run_sweep(envs: Sequence[str] = ("native",),
                 notify(f"[{done}/{len(tasks)}] {'+'.join(task[0])}/{task[1]}"
                        f"{' thp' if task[2] else ''} done (inline)")
         else:
-            with ProcessPoolExecutor(
-                    max_workers=min(workers, len(tasks))) as pool:
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
                 futures = {pool.submit(run_group, task): task
                            for task in tasks}
                 for future in as_completed(futures):
@@ -292,11 +420,9 @@ def run_sweep(envs: Sequence[str] = ("native",),
                         # run_group catches cell failures itself; reaching
                         # here means the worker process died (OOM kill,
                         # segfault) or the result failed to unpickle —
-                        # record the group as an error per environment
-                        # instead of poisoning the whole sweep.
-                        group_cells = [error_cell(env, task[1], task[2],
-                                                  None, exc)
-                                       for env in task[0]]
+                        # fabricate one error cell per (env, design) so
+                        # diff tooling sees exactly which cells are gone.
+                        group_cells = dead_group_cells(task, exc)
                     cells.extend(group_cells)
                     done += 1
                     failed = sum(1 for cell in group_cells
@@ -308,40 +434,23 @@ def run_sweep(envs: Sequence[str] = ("native",),
                            f"{'+'.join(task[0])}/{task[1]}"
                            f"{' thp' if task[2] else ''} "
                            f"{'FAILED' if failed else 'done'}")
+    except BaseException:
+        # An interrupted sweep (Ctrl-C, OOM-killed pool, fatal error)
+        # must not discard the groups already completed: flush them as
+        # a partial document before the exception propagates.
+        if out_path and cells:
+            try:
+                write_document(document_for(partial=True), out_path)
+            except OSError:
+                pass  # the original exception matters more
+        raise
     finally:
-        if trace_path:
+        if owns_trace:
             obs_trace.disable()
-    wall_seconds = time.time() - started
 
-    cells.sort(key=lambda c: (c["env"], c["workload"], c["thp"],
-                              c.get("design") or ""))
-    document = {
-        "meta": {
-            "envs": list(envs),
-            "workloads": list(workloads or ALL_WORKLOADS),
-            "designs": list(designs) if designs else "all",
-            "thp_modes": [bool(t) for t in thp_modes],
-            "config": dict(config_kwargs),
-            "workers": workers,
-            "groups": len(tasks),
-            "cells": len(cells),
-            "wall_seconds": wall_seconds,
-            "started_at": time.strftime("%Y-%m-%dT%H:%M:%S%z",
-                                        time.localtime(started)),
-            "trace": trace_path,
-            "artifact_cache": artifact_dir,
-            "metrics": {
-                "sweep.groups": groups_done.value,
-                "sweep.cells": cells_done.value,
-                "sweep.error_cells": errors_seen.value,
-            },
-        },
-        "cells": cells,
-    }
+    document = document_for()
     if out_path:
-        with open(out_path, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2)
-            handle.write("\n")
+        write_document(document, out_path)
     return document
 
 
