@@ -89,7 +89,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
 
         try:
-            stats = {design: sim.run(design) for design in designs}
+            from repro.sim.sweep import run_design_stats
+
+            stats = run_design_stats(sim, designs,
+                                     cell_threads=args.cell_threads)
             vanilla = stats.get("vanilla") or sim.run("vanilla")
         except ValueError as error:
             # e.g. --walk-engine vec forced onto a design with no batched
@@ -198,6 +201,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             thp_modes=thp_modes, workers=args.workers,
             out_path=args.out, progress=print, trace_path=args.trace,
             artifact_dir=artifact_dir, resume_dir=args.resume,
+            cell_threads=args.cell_threads,
             **_config_kwargs(args),
         )
     except KeyError as error:
@@ -226,7 +230,7 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             workers=args.workers, shard_timeout=args.timeout,
             max_retries=args.max_retries, out_path=args.out,
             progress=print, trace_path=args.trace,
-            artifact_dir=artifact_dir)
+            artifact_dir=artifact_dir, cell_threads=args.cell_threads)
         print(f"job {spec.job_id} journaled under {job_dir}")
         return _print_sweep_summary(document, args, artifact_dir)
     if args.jobs_command == "status":
@@ -245,6 +249,7 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
                 args.job_dir, workers=args.workers,
                 shard_timeout=args.timeout, max_retries=args.max_retries,
                 out_path=args.out, progress=print, trace_path=args.trace,
+                cell_threads=args.cell_threads,
                 artifact_dir=None if args.no_artifact_cache
                 else (args.artifact_cache or ".repro-artifacts"))
         except FileNotFoundError as error:
@@ -365,6 +370,9 @@ def main(argv=None) -> int:
     run.add_argument("--engine", choices=("vec", "scalar"), default="vec",
                      help="stage-1 TLB-filter engine (scalar = reference "
                           "oracle)")
+    run.add_argument("--cell-threads", type=int, default=1,
+                     help="replay this many designs on concurrent threads "
+                          "(nogil native kernels; default: 1)")
 
     gridopts = argparse.ArgumentParser(add_help=False)
     gridopts.add_argument("--env", default="native",
@@ -380,6 +388,10 @@ def main(argv=None) -> int:
                           help="page-size modes to sweep (default: 4k)")
     gridopts.add_argument("--workers", type=int, default=None,
                           help="worker processes (default: all cores)")
+    gridopts.add_argument("--cell-threads", type=int, default=1,
+                          help="replay threads per worker process: each "
+                               "group's (env, design) cells fan out over "
+                               "nogil native kernels (default: 1)")
 
     sweep = sub.add_parser("sweep", parents=[common, simopts, gridopts],
                            help="run the workload×design grid in parallel")
@@ -432,6 +444,9 @@ def main(argv=None) -> int:
         help="re-run the missing shards of an interrupted job")
     jobs_resume.add_argument("job_dir")
     jobs_resume.add_argument("--workers", type=int, default=None)
+    jobs_resume.add_argument("--cell-threads", type=int, default=1,
+                             help="replay threads per worker process "
+                                  "(default: 1)")
     jobs_resume.add_argument("--trace", default=None, metavar="PATH")
     jobs_resume.add_argument("--artifact-cache", default=None, metavar="DIR")
     jobs_resume.add_argument("--no-artifact-cache", action="store_true")

@@ -22,6 +22,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+#: Version of the calibrated cost model (management-op bases, cache/TLB
+#: latencies, walk-cost accounting). Bump on ANY change that can alter
+#: replayed cycle counts: the stage-2 result cache folds this constant
+#: into its content-addressed key, so stale cached cells are never
+#: served across a cost-model change.
+COST_MODEL_VERSION = 1
+
 #: Fixed CPU cost of bookkeeping per management op, microseconds.
 #: Anchored to the §6.3 management-overhead measurements: the per-op bases
 #: are back-fitted so Redis's op mix reproduces §6.3's ~12 ms native total.

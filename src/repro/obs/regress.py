@@ -114,6 +114,16 @@ def compare_bench(current: Dict, baseline: Dict,
                 out.append(Regression(
                     "speedup_floor", f"bench:{entry['design']}:{speed_key}",
                     floor, speed, floor))
+    # Two-level executor: group replay with N cell threads must keep
+    # beating 1 thread by the recorded floor (set only on the numba
+    # backend — interpreter threads share the GIL and can't speed up).
+    base_group = baseline.get("group") or {}
+    cur_group = current.get("group") or {}
+    group_floor = base_group.get("floor") or cur_group.get("floor")
+    group_speed = cur_group.get("speedup")
+    if group_floor and group_speed is not None and group_speed < group_floor:
+        out.append(Regression("speedup_floor", "bench:group:cell_threads",
+                              group_floor, group_speed, group_floor))
     return out
 
 
@@ -205,6 +215,13 @@ def trajectory_record(bench: Optional[Dict], sweep: Optional[Dict],
     }
     if bench is not None:
         record["bench_walks_per_second"] = bench_walks_per_second(bench)
+        group = bench.get("group")
+        if group:
+            record["bench_group"] = {
+                "cell_threads": group.get("cell_threads"),
+                "speedup": group.get("speedup"),
+                "kernel_backend": group.get("kernel_backend"),
+            }
     if stream is not None and stream.get("stream"):
         entry = stream["stream"]
         record["stage1_stream"] = {
@@ -215,6 +232,14 @@ def trajectory_record(bench: Optional[Dict], sweep: Optional[Dict],
         }
     if sweep is not None:
         cells = [c for c in sweep.get("cells", []) if "error" not in c]
+        # One group_seconds value per (workload, thp) group — every cell
+        # of a group reports the same group wall time.
+        group_walls: Dict[Tuple, float] = {}
+        for cell in cells:
+            wall = cell.get("group_seconds")
+            if wall is not None:
+                group_walls[(cell["workload"], bool(cell["thp"]))] = wall
+        warm = sum(1 for c in cells if c.get("stage2_source") == "disk")
         record["sweep"] = {
             "cells": len(cells),
             "error_cells": len(sweep.get("cells", [])) - len(cells),
@@ -222,6 +247,10 @@ def trajectory_record(bench: Optional[Dict], sweep: Optional[Dict],
                 _cell_label(_cell_key(c)): c["mean_latency"] for c in cells
             },
             "wall_seconds": sweep.get("meta", {}).get("wall_seconds"),
+            "cell_threads": sweep.get("meta", {}).get("cell_threads"),
+            "stage2_warm_hit_ratio": (warm / len(cells)) if cells else None,
+            "group_wall_seconds": (sum(group_walls.values())
+                                   if group_walls else None),
         }
     return record
 

@@ -36,12 +36,21 @@ is the constant-memory path (one verified, memmap-backed segment at a
 time); ``load_array`` on a segmented entry assembles the segments into
 one preallocated array (transient footprint: result + one segment).
 
+**Result entries** (the stage-2 result cache, DESIGN.md §15) are pure
+JSON payloads — a replayed cell's WalkStats, step breakdown, and
+walker/memsys end-state counters — stored in the ``<digest>.json``
+slot alone (no ``.npy``). The sidecar records a SHA-256 over the
+payload's canonical JSON; ``load_result`` recomputes it on every read
+and evicts on mismatch, so a torn or hand-edited payload is recomputed
+rather than served. Writes are atomic exactly like array entries.
+
 Telemetry: counters ``artifacts.hits`` / ``artifacts.misses`` /
 ``artifacts.evictions`` / ``artifacts.bytes_read`` /
 ``artifacts.bytes_written`` (all entries), the segmented-entry
 breakdowns ``artifacts.seg_hits`` / ``artifacts.seg_misses`` /
-``artifacts.seg_evictions``, and ``artifact.load`` / ``artifact.store``
-trace spans.
+``artifacts.seg_evictions``, the result-entry breakdowns
+``artifacts.result_hits`` / ``artifacts.result_misses``, and
+``artifact.load`` / ``artifact.store`` trace spans.
 """
 
 from __future__ import annotations
@@ -272,6 +281,8 @@ class ArtifactCache:
         self._seg_hits = metrics.counter("artifacts.seg_hits")
         self._seg_misses = metrics.counter("artifacts.seg_misses")
         self._seg_evictions = metrics.counter("artifacts.seg_evictions")
+        self._result_hits = metrics.counter("artifacts.result_hits")
+        self._result_misses = metrics.counter("artifacts.result_misses")
 
     @property
     def hits(self) -> int:
@@ -296,6 +307,14 @@ class ArtifactCache:
     @property
     def seg_evictions(self) -> int:
         return self._seg_evictions.value
+
+    @property
+    def result_hits(self) -> int:
+        return self._result_hits.value
+
+    @property
+    def result_misses(self) -> int:
+        return self._result_misses.value
 
     def record_write(self, nbytes: int) -> None:
         self._bytes_written.inc(nbytes)
@@ -428,6 +447,84 @@ class ArtifactCache:
                 sp["bytes"] = nbytes
                 sp["segmented"] = segmented
             return array, sidecar.get("meta", {})
+
+    def load_result(self, stage: str, key) -> Optional[Dict]:
+        """The stored JSON result payload for ``(stage, key)``, or None.
+
+        Verify-on-load: the payload's canonical-JSON SHA-256 is
+        recomputed and compared against the digest recorded at store
+        time; a mismatch (torn write, bit rot, hand edit) evicts the
+        entry and reports a miss, so the caller recomputes — exactly
+        the array-entry contract, applied to JSON payloads.
+        """
+        key_digest = digest(stage, key)
+        _npy_path, meta_path = self._paths(key_digest)
+        with obs_trace.span("artifact.load", stage=stage,
+                            digest=key_digest[:12], result=True) as sp:
+            sidecar = self._read_manifest(stage, key, key_digest)
+            payload = sidecar.get("payload") if sidecar else None
+            if payload is not None:
+                body = json.dumps(payload, sort_keys=True,
+                                  separators=(",", ":"), ensure_ascii=True)
+                recorded = sidecar.get("payload_sha256")
+                checksum = hashlib.sha256(body.encode("utf-8")).hexdigest()
+                if checksum != recorded:
+                    self.evict(key_digest)
+                    payload = None
+            elif sidecar is not None:
+                # a validated sidecar with no payload is some other
+                # entry kind that collided on stage/key: evict it
+                self.evict(key_digest)
+            if payload is None:
+                self._misses.inc()
+                self._result_misses.inc()
+                if sp is not None:
+                    sp["hit"] = False
+                return None
+            self._hits.inc()
+            self._result_hits.inc()
+            self._bytes_read.inc(os.path.getsize(meta_path))
+            if sp is not None:
+                sp["hit"] = True
+            return payload
+
+    def store_result(self, stage: str, key, payload: Dict,
+                     meta: Optional[Dict] = None) -> str:
+        """Persist a JSON ``payload`` under ``(stage, key)``; returns digest.
+
+        The payload is canonicalized (tuples -> lists) so the digest
+        recorded here matches what :meth:`load_result` recomputes after
+        a JSON round trip. Atomic: temp name + ``os.replace``.
+        """
+        key_digest = digest(stage, key)
+        _npy_path, meta_path = self._paths(key_digest)
+        body = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"), ensure_ascii=True)
+        sidecar = {
+            "schema": SCHEMA_VERSION, "stage": stage,
+            "key": _canonical(key), "result": True,
+            "payload": json.loads(body),
+            "payload_sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+            "meta": dict(meta or {}),
+        }
+        with obs_trace.span("artifact.store", stage=stage,
+                            digest=key_digest[:12], result=True) as sp:
+            tmp = meta_path + f".tmp{os.getpid()}"
+            try:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(sidecar, handle, sort_keys=True)
+                    handle.write("\n")
+                nbytes = os.path.getsize(tmp)
+                os.replace(tmp, meta_path)
+            finally:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+            self._bytes_written.inc(nbytes)
+            if sp is not None:
+                sp["bytes"] = nbytes
+        return key_digest
 
     def store_array(self, stage: str, key, array: np.ndarray,
                     meta: Optional[Dict] = None) -> str:

@@ -63,6 +63,7 @@ MAX_BACKOFF_SECONDS = 30.0
 VOLATILE_CELL_KEYS = (
     "replay_seconds", "walks_per_second", "build_seconds",
     "stage1_seconds", "stage1_reused", "stage1_source",
+    "stage2_source", "group_seconds",
     "peak_rss_kb", "worker_pid",
 )
 
@@ -85,6 +86,7 @@ class JobScheduler:
                  out_path: Optional[str] = None,
                  trace_path: Optional[str] = None,
                  artifact_dir: Optional[str] = None,
+                 cell_threads: Optional[int] = None,
                  progress: Optional[Callable[[str], None]] = None,
                  run_fn: Optional[Callable] = None):
         self.spec = spec
@@ -97,6 +99,7 @@ class JobScheduler:
         self.out_path = out_path
         self.trace_path = trace_path
         self.artifact_dir = artifact_dir
+        self.cell_threads = max(1, int(cell_threads or 1))
         self.notify = progress or (lambda message: None)
         # Injectable for tests (suicidal/sleeping workers); must be
         # picklable for the pool path.
@@ -237,7 +240,8 @@ class JobScheduler:
         for index, shard in enumerate(shards):
             if self._cancel_requested():
                 return charged, shards[index:]
-            task = self.spec.task(shard, self.trace_path, self.artifact_dir)
+            task = self.spec.task(shard, self.trace_path, self.artifact_dir,
+                                  self.cell_threads)
             started = time.perf_counter()
             try:
                 cells = self._run_fn(task)
@@ -271,7 +275,8 @@ class JobScheduler:
                 while pending and len(running) < pool_size:
                     shard = pending[0]
                     task = self.spec.task(shard, self.trace_path,
-                                          self.artifact_dir)
+                                          self.artifact_dir,
+                                          self.cell_threads)
                     try:
                         future = pool.submit(self._run_fn, task)
                     except (BrokenProcessPool, RuntimeError):
@@ -432,6 +437,8 @@ class JobScheduler:
             "config": dict(spec.config),
             "workers": pool_size,
             "requested_workers": self.workers,
+            "cell_threads": self.cell_threads,
+            "parallelism": pool_size * self.cell_threads,
             "groups": self._total,
             "cells": len(cells),
             "wall_seconds": time.time() - started,

@@ -111,7 +111,15 @@ class JobSpec:
                 for workload in self.workloads for thp in self.thp_modes]
 
     def task(self, shard: Shard, trace_path: Optional[str] = None,
-             artifact_dir: Optional[str] = None) -> GroupTask:
-        """The picklable :data:`GroupTask` tuple for one shard."""
+             artifact_dir: Optional[str] = None,
+             cell_threads: int = 1) -> GroupTask:
+        """The picklable :data:`GroupTask` tuple for one shard.
+
+        ``cell_threads`` is a runtime knob (like ``trace_path``): it
+        changes how fast a shard replays, never what it computes, so it
+        is deliberately absent from :meth:`canonical` and ``job_id`` —
+        a resumed job may use a different thread count.
+        """
         return (self.envs, shard.workload, shard.thp, self.designs,
-                dict(self.config), trace_path, artifact_dir)
+                dict(self.config), trace_path, artifact_dir,
+                max(1, int(cell_threads or 1)))

@@ -31,9 +31,14 @@ except ImportError:  # pragma: no cover - exercised by the no-numba CI leg
 def jit(func):
     """Compile ``func`` with Numba when available, else return it as is.
 
+    Compiled kernels release the GIL (``nogil=True``): they only touch
+    the flat int64/float64 state arrays checked out per cell, so the
+    two-level sweep executor can replay independent (env, design) cells
+    on concurrent threads of one worker process.
+
     Oracle: none — pure backend selection; the decorated kernels each
     declare their own scalar-oracle counterpart.
     """
     if HAVE_NUMBA:
-        return _njit(cache=True)(func)
+        return _njit(cache=True, nogil=True)(func)
     return func

@@ -19,11 +19,28 @@ Step collection (``collect_steps`` with ``record_refs``) delegates to
 the interpreted vec runners — the kernels carry no tag strings — and
 records :data:`STEP_COLLECTION_REASON` so profiling runs are visibly
 not kernel-timed.
+
+**Two-phase split (thread-safety contract).** The entry point is
+factored into :func:`prepare_replay_native` — every GIL-bound,
+order-dependent step: vec planning with its lazy first-touch side
+effects (shadow-table extension, frame allocation, and therefore cache
+set indices), plan flattening, and the per-cell ``array_view()`` state
+checkout — and :meth:`PreparedReplay.execute`, which only drives the
+``nogil`` kernels over the state captured at prepare time and writes
+the results back to that cell's private walker/memsys objects. Prepare
+MUST run on one thread in deterministic cell order; execute may run on
+any thread, concurrently with other cells' prepares and executes,
+because after checkout a cell shares nothing mutable with the rest of
+the process (the miss stream is read-only and memmap-shared). That
+split is what lets the sweep's two-level executor overlap cell *k*'s
+kernels with cell *k+1*'s planning without giving up bit-identity.
 """
 
 from __future__ import annotations
 
 import gc
+import threading
+from contextlib import contextmanager
 from typing import List
 
 import numpy as np
@@ -52,6 +69,33 @@ STEP_COLLECTION_REASON = (
 
 def _ia(seq) -> np.ndarray:
     return np.asarray(seq, dtype=np.int64)
+
+
+# ``gc.disable`` is process-global, so concurrent cell replays refcount
+# it: the first replay in pauses collection, the last one out restores
+# whatever the outermost caller had.
+_GC_LOCK = threading.Lock()
+_GC_DEPTH = 0
+_GC_REENABLE = False
+
+
+@contextmanager
+def _gc_paused():
+    """Pause the cyclic GC for a block; refcounted across threads."""
+    global _GC_DEPTH, _GC_REENABLE
+    with _GC_LOCK:
+        if _GC_DEPTH == 0:
+            _GC_REENABLE = gc.isenabled()
+            if _GC_REENABLE:
+                gc.disable()
+        _GC_DEPTH += 1
+    try:
+        yield
+    finally:
+        with _GC_LOCK:
+            _GC_DEPTH -= 1
+            if _GC_DEPTH == 0 and _GC_REENABLE:
+                gc.enable()
 
 
 # --------------------------------------------------------------------- #
@@ -343,6 +387,60 @@ def _flatten_prefetch(pf_plans, uniq_ordered):
 # Entry point
 # --------------------------------------------------------------------- #
 
+class PreparedReplay:
+    """A planned cell replay whose kernels have not run yet.
+
+    Everything order-dependent already happened in
+    :func:`prepare_replay_native`; :meth:`execute` drives the ``nogil``
+    kernels over the captured flat arrays and writes results back to
+    this cell's private walker/memsys objects, so it is safe on any
+    thread, concurrently with other cells. ``execute`` is one-shot —
+    a second call returns the same ``WalkStats`` without replaying.
+    """
+
+    def __init__(self, stats, total, warmup, out_len, run_range,
+                 finishers, walker, extra_walkers, record_refs):
+        self.stats = stats
+        self._total = total
+        self._warmup = warmup
+        self._out_len = out_len
+        self._run_range = run_range
+        self._finishers = finishers
+        self._walker = walker
+        self._extra_walkers = extra_walkers
+        self._record_refs = record_refs
+        self._done = False
+
+    def execute(self):
+        if self._done:
+            return self.stats
+        self._done = True
+        if self._run_range is None:   # empty miss stream: nothing to run
+            return self.stats
+        total, warmup = self._total, self._warmup
+        out_warm = np.zeros(self._out_len, dtype=np.int64)
+        out_meas = np.zeros(self._out_len, dtype=np.int64)
+        with _gc_paused():
+            if warmup > 0:
+                self._run_range(0, warmup, out_warm)
+            if warmup < total:
+                self._run_range(warmup, total, out_meas)
+        stats = self.stats
+        stats.walks = total - warmup
+        stats.total_cycles = int(out_meas[0])
+        stats.ref_count = int(out_meas[1]) if self._record_refs else 0
+        stats.fallbacks = int(out_meas[2])
+        for finish in self._finishers:
+            finish(out_warm, out_meas)
+        all_cycles = int(out_warm[0] + out_meas[0])
+        all_fallbacks = int(out_warm[2] + out_meas[2])
+        for target in (self._walker,) + self._extra_walkers:
+            target.walks += total
+            target.total_cycles += all_cycles
+            target.fallbacks += all_fallbacks
+        return stats
+
+
 def replay_walks_native(
     walker: Walker,
     miss_vas,
@@ -362,6 +460,43 @@ def replay_walks_native(
     needs a per-chunk flush). Raises ``ValueError`` for unsupported
     walkers, exactly like the vec engine.
     """
+    memsys: MemorySubsystem = walker.memsys
+    if collect_steps and memsys.record_refs:
+        reason = walk_vec.unsupported_reason(walker)
+        if reason is not None:
+            raise ValueError(
+                f"walker {walker.name!r} has no batched replay path: "
+                f"{reason} (use the scalar engine)")
+        stats = walk_vec.replay_walks_vec(
+            walker, miss_vas, warmup_fraction=warmup_fraction,
+            collect_steps=True, chunk=chunk)
+        stats.engine = "native"
+        stats.fallback_reason = STEP_COLLECTION_REASON
+        return stats
+    return prepare_replay_native(
+        walker, miss_vas, warmup_fraction=warmup_fraction).execute()
+
+
+def prepare_replay_native(
+    walker: Walker,
+    miss_vas,
+    warmup_fraction: float = 0.1,
+) -> PreparedReplay:
+    """Plan a native-kernel replay; the kernels run in ``execute()``.
+
+    This is the sequential half of the two-phase split documented in
+    the module docstring: vec planning (lazy first-touch side effects
+    happen here, in deterministic order), plan flattening, and the
+    ``array_view()`` state checkout. The returned
+    :class:`PreparedReplay` owns thread-private state only. Raises
+    ``ValueError`` for unsupported walkers, exactly like the vec
+    engine.
+
+    Oracle: :func:`repro.sim.simulator.replay_walks` with
+    ``engine="scalar"`` — ``prepare().execute()`` must return
+    bit-identical :class:`WalkStats` and leave identical cache/PWC/
+    design state, on any thread.
+    """
     from repro.sim.simulator import WalkStats
 
     reason = walk_vec.unsupported_reason(walker)
@@ -371,13 +506,6 @@ def replay_walks_native(
             "(use the scalar engine)")
     memsys: MemorySubsystem = walker.memsys
     record_refs = memsys.record_refs
-    if collect_steps and record_refs:
-        stats = walk_vec.replay_walks_vec(
-            walker, miss_vas, warmup_fraction=warmup_fraction,
-            collect_steps=True, chunk=chunk)
-        stats.engine = "native"
-        stats.fallback_reason = STEP_COLLECTION_REASON
-        return stats
 
     spec = walker.batch_spec()
     vas = np.asarray(miss_vas, dtype=np.int64)
@@ -386,7 +514,8 @@ def replay_walks_native(
         stats.fallback_reason = backend.UNAVAILABLE_REASON
     total = int(vas.size)
     if total == 0:
-        return stats
+        return PreparedReplay(stats, 0, 0, 3, None, [], walker, (),
+                              record_refs)
     vpns = vas >> PAGE_SHIFT
 
     # Unique VPNs in first-occurrence order (planning must touch lazily
@@ -400,10 +529,7 @@ def replay_walks_native(
     rank[order] = np.arange(uniq.size, dtype=np.int64)
     pidx = np.ascontiguousarray(rank[inverse.reshape(-1)], dtype=np.int64)
 
-    gc_was_enabled = gc.isenabled()
-    if gc_was_enabled:
-        gc.disable()
-    try:
+    with _gc_paused():
         cs, cache_views, cache_fin = _cache_state(memsys.caches)
         finishers = [cache_fin]
         pwc_latency = memsys.pwc_latency
@@ -604,28 +730,7 @@ def replay_walks_native(
         else:  # pragma: no cover - guarded by unsupported_reason
             raise ValueError(f"unknown batch-spec kind {kind!r}")
 
-        warmup = int(total * warmup_fraction)
-        out_warm = np.zeros(out_len, dtype=np.int64)
-        out_meas = np.zeros(out_len, dtype=np.int64)
-        if warmup > 0:
-            run_range(0, warmup, out_warm)
-        if warmup < total:
-            run_range(warmup, total, out_meas)
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-
-    stats.walks = total - warmup
-    stats.total_cycles = int(out_meas[0])
-    stats.ref_count = int(out_meas[1]) if record_refs else 0
-    stats.fallbacks = int(out_meas[2])
-
-    for finish in finishers:
-        finish(out_warm, out_meas)
-    all_cycles = int(out_warm[0] + out_meas[0])
-    all_fallbacks = int(out_warm[2] + out_meas[2])
-    for target in (walker,) + tuple(spec.extra_walkers):
-        target.walks += total
-        target.total_cycles += all_cycles
-        target.fallbacks += all_fallbacks
-    return stats
+    warmup = int(total * warmup_fraction)
+    return PreparedReplay(stats, total, warmup, out_len, run_range,
+                          finishers, walker, tuple(spec.extra_walkers),
+                          record_refs)

@@ -13,13 +13,14 @@ alongside.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import os
 import queue
 import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.analysis import sanitizer
 from repro.arch import PAGE_SHIFT, PAGE_SIZE, PageSize, align_up
 from repro.obs import metrics
 from repro.obs import trace as obs_trace
+from repro.core import costs as core_costs
 from repro.core.costs import Environment as MgmtEnv
 from repro.core.dmt_os import DMTLinux
 from repro.core.paravirt import PvDMTHost, PvTEAAllocator
@@ -39,6 +41,7 @@ from repro.sim.simulator import (
     TLBFilterResult,
     WalkStats,
     make_size_lookup,
+    prepare_replay,
     replay_walks,
     tlb_accept_rates,
     tlb_filter,
@@ -213,6 +216,122 @@ class SimConfig:
         return dataclasses.replace(self, scale=scale, nrefs=nrefs)
 
 
+def _stats_payload(stats: WalkStats) -> Dict:
+    """A ``WalkStats`` as the JSON dict stored in the stage-2 result cache.
+
+    ``engine`` / ``fallback_reason`` are stored and restored verbatim:
+    they are cell telemetry the sweep document records, and a warm
+    sweep must emit a byte-identical document.
+    """
+    return {
+        "design": stats.design,
+        "walks": int(stats.walks),
+        "total_cycles": int(stats.total_cycles),
+        "fallbacks": int(stats.fallbacks),
+        "ref_count": int(stats.ref_count),
+        "step_cycles": {tag: [float(total), int(count)]
+                        for tag, (total, count) in stats.step_cycles.items()},
+        "engine": stats.engine,
+        "fallback_reason": stats.fallback_reason,
+    }
+
+
+def _stats_from_payload(payload: Dict) -> WalkStats:
+    """Rebuild a ``WalkStats`` from its cached payload dict."""
+    return WalkStats(
+        design=payload["design"],
+        walks=int(payload["walks"]),
+        total_cycles=int(payload["total_cycles"]),
+        fallbacks=int(payload["fallbacks"]),
+        ref_count=int(payload["ref_count"]),
+        step_cycles={tag: [float(pair[0]), int(pair[1])]
+                     for tag, pair in payload.get("step_cycles", {}).items()},
+        engine=payload.get("engine", "scalar"),
+        fallback_reason=payload.get("fallback_reason"),
+    )
+
+
+def _stage2_state(walker: Walker) -> Dict:
+    """Post-replay end state archived alongside a cached cell's stats.
+
+    Audit payload, not restored on a hit (a served cell never builds a
+    walker): walker/fetcher counters and the cache/PWC hit-miss end
+    state let a human (or a test) verify a cached entry against a fresh
+    replay without trusting the checksum alone.
+    """
+    def counters(target) -> Dict:
+        return {"walks": int(target.walks),
+                "total_cycles": int(target.total_cycles),
+                "fallbacks": int(target.fallbacks)}
+
+    memsys = walker.memsys
+    state = {
+        "walker": counters(walker),
+        "caches": [{"hits": int(level.stats.hits),
+                    "misses": int(level.stats.misses)}
+                   for level in memsys.caches.levels],
+        "memory_accesses": int(memsys.caches.memory_accesses),
+        "pwc": {
+            "host": {"hits": int(memsys.pwc.stats.hits),
+                     "misses": int(memsys.pwc.stats.misses)},
+            "guest": {"hits": int(memsys.guest_pwc.stats.hits),
+                      "misses": int(memsys.guest_pwc.stats.misses)},
+            "nested": {"hits": int(memsys.nested_pwc.stats.hits),
+                       "misses": int(memsys.nested_pwc.stats.misses)},
+        },
+    }
+    fetcher = getattr(walker, "fetcher", None)
+    if fetcher is not None:
+        state["fetcher"] = {"hits": int(fetcher.hits),
+                            "fallbacks": int(fetcher.fallbacks)}
+    return state
+
+
+class PreparedCell:
+    """One (design) cell split for the two-level sweep executor.
+
+    ``prepare_run`` consults the per-design memo and the stage-2 result
+    cache and, on a miss, runs every order-dependent step (walker
+    build, vec planning, state checkout) on the calling thread. What
+    remains is: ``execute()`` — the replay itself, safe on a worker
+    thread iff ``threadable`` — and ``commit(stats)``, which must run
+    back on the preparing thread (it writes the memo and the result
+    cache, and artifact I/O opens trace spans that are process-global).
+    """
+
+    def __init__(self, design: str, stats: Optional[WalkStats] = None,
+                 execute: Optional[Callable[[], WalkStats]] = None,
+                 commit: Optional[Callable[[WalkStats], WalkStats]] = None,
+                 walker: Optional[Walker] = None, threadable: bool = False,
+                 source: str = "computed"):
+        self.design = design
+        self.stats = stats
+        self.walker = walker
+        self.threadable = threadable
+        #: Where the cell came from: "computed", "memo", or "disk".
+        self.source = source
+        self._execute = execute
+        self._commit = commit
+
+    @property
+    def ready(self) -> bool:
+        """Stats already in hand (memo or result-cache hit)?"""
+        return self.stats is not None
+
+    def execute(self) -> WalkStats:
+        """Replay the cell; thread-safe only when ``threadable``."""
+        if self.stats is not None:
+            return self.stats
+        return self._execute()
+
+    def commit(self, stats: WalkStats) -> WalkStats:
+        """Finalize on the preparing thread: memo + result-cache store."""
+        if self.stats is None and self._commit is not None:
+            stats = self._commit(stats)
+        self.stats = stats
+        return stats
+
+
 class _SimulationBase:
     """Shared stage-1 plumbing."""
 
@@ -227,6 +346,11 @@ class _SimulationBase:
             sanitizer.enable()
         self.workload = generators.get(workload_name, config.scale)
         self._stats_cache: Dict[str, WalkStats] = {}
+        #: Per-cell stage-2 provenance ("computed" or "disk"), keyed
+        #: like :attr:`_stats_cache`; see :meth:`stage2_source`.
+        self._stage2_sources: Dict[str, str] = {}
+        #: Memoized SHA-256 of the replayed miss stream (stage-2 key).
+        self._miss_digest_memo: Optional[str] = None
         #: Optional sweep-wide stage-1 memo; sims sharing one instance
         #: compute the trace + TLB filter once per input signature.
         self._stage1 = stage1
@@ -258,25 +382,153 @@ class _SimulationBase:
         raise NotImplementedError
 
     def run(self, design: str, collect_steps: bool = False) -> WalkStats:
-        """Replay the miss stream through one design (cached per design)."""
+        """Replay the miss stream through one design (cached per design).
+
+        Consults, in order: the in-process per-design memo, the
+        content-addressed stage-2 result cache (when an artifact cache
+        is attached and ``sanitize`` is off), and only then plans and
+        replays — a warm run with unchanged inputs does zero replay.
+        """
         key = f"{design}:{collect_steps}"
-        if key not in self._stats_cache:
-            with obs_trace.span("stage2.replay", env=self.env_name,
-                                workload=self.workload.name, design=design,
-                                thp=self.config.thp) as sp:
-                walker = self.walker(design)
-                stats = replay_walks(
-                    walker,
-                    self.tlb.miss_vas,
-                    warmup_fraction=self.config.warmup_fraction,
-                    collect_steps=collect_steps,
-                    engine=self.config.walk_engine,
-                )
-                if sp is not None:
-                    sp["walks"] = stats.walks
-                    sp["engine"] = stats.engine
-            self._stats_cache[key] = stats
-        return self._stats_cache[key]
+        stats = self._stats_cache.get(key)
+        if stats is not None:
+            return stats
+        stats = self._fetch_stage2(design, collect_steps)
+        if stats is not None:
+            return stats
+        with obs_trace.span("stage2.replay", env=self.env_name,
+                            workload=self.workload.name, design=design,
+                            thp=self.config.thp) as sp:
+            walker = self.walker(design)
+            stats = replay_walks(
+                walker,
+                self.tlb.miss_vas,
+                warmup_fraction=self.config.warmup_fraction,
+                collect_steps=collect_steps,
+                engine=self.config.walk_engine,
+            )
+            if sp is not None:
+                sp["walks"] = stats.walks
+                sp["engine"] = stats.engine
+        return self._commit_stage2(design, collect_steps, stats, walker)
+
+    def prepare_run(self, design: str) -> PreparedCell:
+        """Split ``run(design)`` for the two-level executor (DESIGN.md §15).
+
+        Memo/result-cache consultation and all order-dependent work
+        (walker build, planning, state checkout) happen now, on the
+        calling thread. The returned cell's ``execute()`` may run on a
+        worker thread when ``threadable``; ``commit(stats)`` must then
+        run back on this thread. ``prepare -> execute -> commit`` is
+        bit-identical to ``run(design)``.
+        """
+        key = f"{design}:False"
+        stats = self._stats_cache.get(key)
+        if stats is not None:
+            return PreparedCell(design, stats=stats,
+                                source=self.stage2_source(design))
+        stats = self._fetch_stage2(design, False)
+        if stats is not None:
+            return PreparedCell(design, stats=stats, source="disk")
+        walker = self.walker(design)
+        execute, threadable = prepare_replay(
+            walker, self.tlb.miss_vas,
+            warmup_fraction=self.config.warmup_fraction,
+            engine=self.config.walk_engine)
+
+        def commit(stats: WalkStats) -> WalkStats:
+            return self._commit_stage2(design, False, stats, walker)
+
+        return PreparedCell(design, execute=execute, commit=commit,
+                            walker=walker, threadable=threadable)
+
+    def stage2_source(self, design: str, collect_steps: bool = False) -> str:
+        """Where ``run(design)``'s stats came from: "computed" or "disk"."""
+        return self._stage2_sources.get(f"{design}:{collect_steps}",
+                                        "computed")
+
+    def _result_artifacts(self):
+        """The attached artifact cache, or None (no result caching)."""
+        if self._stage1 is None or self.config.sanitize:
+            # sanitize replays must actually run (the checks live in
+            # the replay), so the result cache is bypassed entirely
+            return None
+        return self._stage1.artifacts
+
+    def _miss_digest(self) -> str:
+        """SHA-256 over the replayed miss stream's bytes + ref count."""
+        if self._miss_digest_memo is None:
+            vas = np.ascontiguousarray(self.tlb.miss_vas, dtype=np.int64)
+            hasher = hashlib.sha256()
+            hasher.update(vas.data)
+            hasher.update(str(int(self.tlb.total_refs)).encode("ascii"))
+            self._miss_digest_memo = hasher.hexdigest()
+        return self._miss_digest_memo
+
+    def _stage2_key(self, design: str, collect_steps: bool) -> list:
+        """Stage-2 result-cache key: everything a replayed cell depends on.
+
+        The miss-stream digest subsumes the stage-1 knobs (engine,
+        stream_chunk — both bit-identical by contract and pinned by
+        test); ``walk_engine`` is deliberately absent because all
+        stage-2 engines are bit-identical on supported designs, so
+        cells cached by one engine serve the others. The cost-model
+        version constant invalidates every cached cell when calibrated
+        latencies change.
+        """
+        cfg = self.config
+        return [
+            self.env_name, design, bool(collect_steps),
+            self._miss_digest(),
+            {
+                "workload": self.workload.name,
+                "scale": cfg.scale,
+                "nrefs": cfg.nrefs,
+                "seed": cfg.seed,
+                "thp": cfg.thp,
+                "levels": cfg.levels,
+                "register_count": cfg.register_count,
+                "bubble_threshold": cfg.bubble_threshold,
+                "warmup_fraction": cfg.warmup_fraction,
+                "record_refs": cfg.record_refs,
+                "scale_mmu_caches": cfg.scale_mmu_caches,
+                "machine": dataclasses.asdict(cfg.machine),
+            },
+            core_costs.COST_MODEL_VERSION,
+        ]
+
+    def _fetch_stage2(self, design: str,
+                      collect_steps: bool) -> Optional[WalkStats]:
+        """A result-cache hit's WalkStats (memoized), or None."""
+        artifacts = self._result_artifacts()
+        if artifacts is None:
+            return None
+        payload = artifacts.load_result(
+            "stage2", self._stage2_key(design, collect_steps))
+        if payload is None or "stats" not in payload:
+            return None
+        stats = _stats_from_payload(payload["stats"])
+        key = f"{design}:{collect_steps}"
+        self._stats_cache[key] = stats
+        self._stage2_sources[key] = "disk"
+        return stats
+
+    def _commit_stage2(self, design: str, collect_steps: bool,
+                       stats: WalkStats, walker: Walker) -> WalkStats:
+        """Memoize a freshly replayed cell and persist it to the cache."""
+        key = f"{design}:{collect_steps}"
+        self._stats_cache[key] = stats
+        self._stage2_sources[key] = "computed"
+        artifacts = self._result_artifacts()
+        if artifacts is not None:
+            artifacts.store_result(
+                "stage2", self._stage2_key(design, collect_steps),
+                {"stats": _stats_payload(stats),
+                 "state": _stage2_state(walker)},
+                meta={"env": self.env_name,
+                      "workload": self.workload.name,
+                      "design": design})
+        return stats
 
     def _stage1_key(self) -> tuple:
         """Stage-1 input signature: everything the miss stream depends on.

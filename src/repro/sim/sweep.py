@@ -11,12 +11,24 @@ workload and config, not the environment). Groups are independent, so
 they fan out across worker processes with
 :class:`concurrent.futures.ProcessPoolExecutor`.
 
+Within one group the executor is **two-level** (DESIGN.md §15): the
+group's independent (env, design) cells can replay concurrently on
+``cell_threads`` threads of the worker process, sharing the memmapped
+miss stream with no pickling. Each cell's order-dependent prepare
+(walker build, vec planning, ``array_view()`` checkout) runs on the
+group's main thread in deterministic cell order; only the ``nogil``
+kernel execution is handed to the thread pool, so cell *k+1*'s planning
+overlaps cell *k*'s kernels and results stay bit-identical to
+sequential replay. Cells without a threadable engine (vec/scalar)
+complete inline at their prepare position.
+
 Each grid cell reports telemetry alongside its simulation statistics:
 stage-1 wall time and whether it was served from the group's memo,
-replay wall time and the stage-2 engine used, walk throughput, the
-worker's peak RSS, and the machine-build time. The whole sweep
-serializes to a JSON document (``meta`` + ``cells``) so runs can be
-archived and diffed.
+replay wall time and the stage-2 engine used, the stage-2 result-cache
+provenance (``stage2_source``), walk throughput, the worker's peak
+RSS, the machine-build time, and the group's wall seconds. The whole
+sweep serializes to a JSON document (``meta`` + ``cells``) so runs can
+be archived and diffed.
 
 Exposed through ``python -m repro sweep`` and reused by
 ``benchmarks/conftest.py``'s ``SimCache``.
@@ -28,7 +40,11 @@ import json
 import os
 import resource
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import metrics
@@ -43,9 +59,11 @@ ALL_WORKLOADS = ["Redis", "Memcached", "GUPS", "BTree", "Canneal",
 
 #: A group task — one (workload, THP) pair across every swept
 #: environment — as picklable primitives: (envs, workload, thp,
-#: designs, config kwargs, trace JSONL path, artifact-cache dir).
+#: designs, config kwargs, trace JSONL path, artifact-cache dir,
+#: cell threads). ``run_group`` tolerates the historical 7-tuple
+#: (missing cell_threads means 1: sequential cell replay).
 GroupTask = Tuple[Tuple[str, ...], str, bool, Optional[Tuple[str, ...]],
-                  Dict, Optional[str], Optional[str]]
+                  Dict, Optional[str], Optional[str], int]
 
 
 def build_sim(env: str, workload: str, config: SimConfig,
@@ -163,6 +181,18 @@ def effective_workers(workers: int, tasks: int) -> int:
     return min(workers, tasks)
 
 
+def effective_split(workers: int, tasks: int,
+                    cell_threads: Optional[int] = None) -> Tuple[int, int]:
+    """The ``processes × cell_threads`` split a sweep actually runs with.
+
+    Processes follow :func:`effective_workers`; the per-group thread
+    count is clamped to at least 1 (``None``/0 mean sequential cell
+    replay). Sweep meta records both halves plus their product.
+    """
+    return (effective_workers(workers, tasks),
+            max(1, int(cell_threads or 1)))
+
+
 def run_group(task: GroupTask) -> List[Dict]:
     """Run one (workload, thp) group across its environments.
 
@@ -176,14 +206,21 @@ def run_group(task: GroupTask) -> List[Dict]:
     machine build fails that environment's cells). A requested design no
     swept environment provides yields an error cell instead of being
     silently dropped. Module-level so the process pool can pickle it.
+
+    With ``cell_threads > 1`` in the task, the group's cells replay on
+    the two-level executor: prepares stay sequential on this thread,
+    threadable (native-kernel) executions fan out over a
+    ``ThreadPoolExecutor`` — bit-identical to sequential replay.
     """
     envs, workload, thp, designs, config_kwargs, trace_path, \
-        artifact_dir = task
+        artifact_dir = task[:7]
+    cell_threads = int(task[7]) if len(task) > 7 and task[7] else 1
     if trace_path:
         obs_trace.enable(trace_path)
     artifacts = ArtifactCache(artifact_dir) if artifact_dir else None
     stage1 = Stage1Cache(artifacts=artifacts)
     cells: List[Dict] = []
+    group_start = time.perf_counter()
     # Design availability is a static property of the environment
     # classes, so an unknown design is detected even when a machine
     # build fails for other reasons (e.g. an unknown workload).
@@ -192,72 +229,148 @@ def run_group(task: GroupTask) -> List[Dict]:
         env_cls = ENVIRONMENTS.get(env)
         if env_cls is not None:
             provided.update(env_cls.designs)
-    with obs_trace.span("sweep.run_group", envs="+".join(envs),
-                        workload=workload, thp=thp):
-        for env in envs:
-            try:
-                config = SimConfig(thp=thp, **config_kwargs)
-                build_start = time.perf_counter()
-                with obs_trace.span("sweep.build_sim", env=env,
-                                    workload=workload, thp=thp):
-                    sim = build_sim(env, workload, config, stage1=stage1)
-                build_seconds = time.perf_counter() - build_start
-            except Exception as exc:
-                cells.append(error_cell(env, workload, thp, None, exc))
-                continue
+    executor = (ThreadPoolExecutor(max_workers=cell_threads,
+                                   thread_name_prefix="cell")
+                if cell_threads > 1 else None)
+    try:
+        with obs_trace.span("sweep.run_group", envs="+".join(envs),
+                            workload=workload, thp=thp,
+                            cell_threads=cell_threads):
+            for env in envs:
+                try:
+                    config = SimConfig(thp=thp, **config_kwargs)
+                    build_start = time.perf_counter()
+                    with obs_trace.span("sweep.build_sim", env=env,
+                                        workload=workload, thp=thp):
+                        sim = build_sim(env, workload, config,
+                                        stage1=stage1)
+                    build_seconds = time.perf_counter() - build_start
+                except Exception as exc:
+                    cells.append(error_cell(env, workload, thp, None, exc))
+                    continue
 
-            available = list(sim.designs)
-            requested = [d for d in (designs or available) if d in available]
-            env_cells = _run_env_cells(sim, env, workload, thp, requested,
-                                       build_seconds)
-            cells.extend(env_cells)
+                available = list(sim.designs)
+                requested = [d for d in (designs or available)
+                             if d in available]
+                env_cells = _run_env_cells(sim, env, workload, thp,
+                                           requested, build_seconds,
+                                           executor=executor)
+                cells.extend(env_cells)
+    finally:
+        if executor is not None:
+            executor.shutdown()
     for design in designs or ():
         if design not in provided:
             exc = KeyError(f"unknown design {design!r}; no swept "
                            f"environment provides it")
             cells.append(error_cell("+".join(envs), workload, thp,
                                     design, exc))
+    group_seconds = time.perf_counter() - group_start
+    for cell in cells:
+        cell["group_seconds"] = group_seconds
     return cells
 
 
+def _cell_record(sim, env: str, workload: str, thp: bool, design: str,
+                 stats, replay_seconds: float,
+                 build_seconds: float) -> Dict:
+    """The telemetry dict for one successfully replayed grid cell."""
+    return {
+        "env": env,
+        "workload": workload,
+        "design": design,
+        "thp": thp,
+        "walks": stats.walks,
+        "mean_latency": stats.mean_latency,
+        "fallback_rate": stats.fallback_rate,
+        "miss_count": sim.tlb.miss_count,
+        "total_refs": sim.tlb.total_refs,
+        "tlb_miss_rate": sim.tlb.miss_rate,
+        "stage1_seconds": sim.stage1_seconds,
+        "stage1_reused": sim.stage1_reused,
+        "stage1_source": sim.stage1_source,
+        "stage1_streamed": sim.stage1_streamed,
+        "walk_engine": stats.engine,
+        "stage2_fallback_reason": stats.fallback_reason,
+        "stage2_source": sim.stage2_source(design),
+        "replay_seconds": replay_seconds,
+        "walks_per_second": (stats.walks / replay_seconds
+                             if replay_seconds > 0 else 0.0),
+        "build_seconds": build_seconds,
+        "peak_rss_kb": peak_rss_kb(),
+        "worker_pid": os.getpid(),
+    }
+
+
 def _run_env_cells(sim, env: str, workload: str, thp: bool,
-                   requested: List[str], build_seconds: float) -> List[Dict]:
-    """Replay every requested design on one built machine."""
+                   requested: List[str], build_seconds: float,
+                   executor: Optional[ThreadPoolExecutor] = None
+                   ) -> List[Dict]:
+    """Replay every requested design on one built machine.
+
+    Without an ``executor`` this is the sequential oracle path
+    (``sim.run`` per design, in order). With one, each design is
+    *prepared* in order on this thread; threadable cells execute on
+    the pool while later cells prepare, and every cell is committed
+    back on this thread in design order — same cells, same bits.
+    """
     env_cells: List[Dict] = []
     latency: Dict[str, float] = {}
-    for design in requested:
-        replay_start = time.perf_counter()
-        try:
-            stats = sim.run(design)
-        except Exception as exc:
-            env_cells.append(error_cell(env, workload, thp, design, exc))
-            continue
-        replay_seconds = time.perf_counter() - replay_start
-        latency[design] = stats.mean_latency
-        env_cells.append({
-            "env": env,
-            "workload": workload,
-            "design": design,
-            "thp": thp,
-            "walks": stats.walks,
-            "mean_latency": stats.mean_latency,
-            "fallback_rate": stats.fallback_rate,
-            "miss_count": sim.tlb.miss_count,
-            "total_refs": sim.tlb.total_refs,
-            "tlb_miss_rate": sim.tlb.miss_rate,
-            "stage1_seconds": sim.stage1_seconds,
-            "stage1_reused": sim.stage1_reused,
-            "stage1_source": sim.stage1_source,
-            "stage1_streamed": sim.stage1_streamed,
-            "walk_engine": stats.engine,
-            "stage2_fallback_reason": stats.fallback_reason,
-            "replay_seconds": replay_seconds,
-            "walks_per_second": (stats.walks / replay_seconds
-                                 if replay_seconds > 0 else 0.0),
-            "build_seconds": build_seconds,
-            "peak_rss_kb": peak_rss_kb(),
-            "worker_pid": os.getpid(),
-        })
+    if executor is None:
+        for design in requested:
+            replay_start = time.perf_counter()
+            try:
+                stats = sim.run(design)
+            except Exception as exc:
+                env_cells.append(error_cell(env, workload, thp, design,
+                                            exc))
+                continue
+            replay_seconds = time.perf_counter() - replay_start
+            latency[design] = stats.mean_latency
+            env_cells.append(_cell_record(sim, env, workload, thp, design,
+                                          stats, replay_seconds,
+                                          build_seconds))
+    else:
+        # (design, prep, future, exc, start, inline_seconds)
+        staged: List[Tuple] = []
+        for design in requested:
+            start = time.perf_counter()
+            prep = future = exc = inline_seconds = None
+            try:
+                prep = sim.prepare_run(design)
+                if prep.threadable and not prep.ready:
+                    future = executor.submit(prep.execute)
+                else:
+                    # memo/result-cache hits and non-threadable engines
+                    # (vec/scalar planning mutates lazily populated
+                    # structures shared across cells) complete inline,
+                    # at their sequential position
+                    prep.commit(prep.execute())
+                    inline_seconds = time.perf_counter() - start
+            except Exception as caught:
+                exc = caught
+            staged.append((design, prep, future, exc, start,
+                           inline_seconds))
+        for design, prep, future, exc, start, inline_seconds in staged:
+            stats = None
+            if exc is None:
+                try:
+                    if future is not None:
+                        stats = prep.commit(future.result())
+                    else:
+                        stats = prep.stats
+                except Exception as caught:
+                    exc = caught
+            if exc is not None:
+                env_cells.append(error_cell(env, workload, thp, design,
+                                            exc))
+                continue
+            replay_seconds = (inline_seconds if inline_seconds is not None
+                              else time.perf_counter() - start)
+            latency[design] = stats.mean_latency
+            env_cells.append(_cell_record(sim, env, workload, thp, design,
+                                          stats, replay_seconds,
+                                          build_seconds))
     vanilla = latency.get("vanilla")
     for cell in env_cells:
         if "error" in cell:
@@ -268,12 +381,43 @@ def _run_env_cells(sim, env: str, workload: str, thp: bool,
     return env_cells
 
 
+def run_design_stats(sim, designs: Sequence[str],
+                     cell_threads: int = 1) -> Dict:
+    """``{design: WalkStats}`` on one machine, optionally thread-parallel.
+
+    The single-machine twin of the sweep's two-level executor, used by
+    ``python -m repro run --cell-threads``. Exceptions propagate (no
+    error cells — the CLI reports the failure). Bit-identical to
+    calling ``sim.run`` per design.
+    """
+    cell_threads = max(1, int(cell_threads or 1))
+    designs = list(designs)
+    if cell_threads == 1 or len(designs) <= 1:
+        return {design: sim.run(design) for design in designs}
+    stats: Dict = {}
+    with ThreadPoolExecutor(max_workers=cell_threads,
+                            thread_name_prefix="cell") as executor:
+        staged = []
+        for design in designs:
+            prep = sim.prepare_run(design)
+            if prep.threadable and not prep.ready:
+                staged.append((design, prep, executor.submit(prep.execute)))
+            else:
+                prep.commit(prep.execute())
+                staged.append((design, prep, None))
+        for design, prep, future in staged:
+            stats[design] = (prep.commit(future.result())
+                             if future is not None else prep.stats)
+    return stats
+
+
 def grid_tasks(envs: Sequence[str],
                workloads: Optional[Sequence[str]] = None,
                designs: Optional[Sequence[str]] = None,
                thp_modes: Sequence[bool] = (False,),
                trace_path: Optional[str] = None,
                artifact_dir: Optional[str] = None,
+               cell_threads: int = 1,
                **config_kwargs) -> List[GroupTask]:
     """Enumerate the group tasks of a sweep.
 
@@ -282,13 +426,15 @@ def grid_tasks(envs: Sequence[str],
     ``trace_path`` set, each task carries the span-stream destination so
     pool workers append to the shared JSONL file; with ``artifact_dir``
     set, each worker's stage-0/1 results persist to (and load from) the
-    shared cross-run artifact cache.
+    shared cross-run artifact cache. ``cell_threads`` sizes the
+    per-group replay thread pool (1 = sequential).
     """
     names = list(workloads or ALL_WORKLOADS)
     wanted = tuple(designs) if designs else None
     env_tuple = tuple(envs)
+    threads = max(1, int(cell_threads or 1))
     return [(env_tuple, workload, thp, wanted, dict(config_kwargs),
-             trace_path, artifact_dir)
+             trace_path, artifact_dir, threads)
             for workload in names for thp in thp_modes]
 
 
@@ -302,6 +448,7 @@ def run_sweep(envs: Sequence[str] = ("native",),
               trace_path: Optional[str] = None,
               artifact_dir: Optional[str] = None,
               resume_dir: Optional[str] = None,
+              cell_threads: Optional[int] = None,
               **config_kwargs) -> Dict:
     """Run the grid, fanning groups across ``workers`` processes.
 
@@ -327,6 +474,12 @@ def run_sweep(envs: Sequence[str] = ("native",),
     journal re-running only missing groups, and dead pool workers are
     retried with backoff (DESIGN.md §14).
 
+    ``cell_threads`` adds the second parallelism level: each group's
+    worker replays its independent (env, design) cells on that many
+    threads (DESIGN.md §15). ``meta.parallelism`` records the resulting
+    ``processes × cell_threads`` product. Results are bit-identical to
+    ``cell_threads=1``.
+
     Returns the JSON-ready document ``{"meta": ..., "cells": [...]}``
     and writes it to ``out_path`` when given (atomic tmp + rename). An
     interrupted sweep (Ctrl-C, fatal error) still flushes the cells
@@ -343,13 +496,14 @@ def run_sweep(envs: Sequence[str] = ("native",),
             resume_dir, envs=envs, workloads=workloads, designs=designs,
             thp_modes=thp_modes, workers=workers, out_path=out_path,
             progress=progress, trace_path=trace_path,
-            artifact_dir=artifact_dir, **config_kwargs)
+            artifact_dir=artifact_dir, cell_threads=cell_threads,
+            **config_kwargs)
     tasks = grid_tasks(envs, workloads, designs, thp_modes,
                        trace_path=trace_path, artifact_dir=artifact_dir,
-                       **config_kwargs)
+                       cell_threads=cell_threads or 1, **config_kwargs)
     if workers is None:
         workers = os.cpu_count() or 1
-    pool_size = effective_workers(workers, len(tasks))
+    pool_size, threads = effective_split(workers, len(tasks), cell_threads)
     notify = progress or (lambda message: None)
 
     # Parent-side progress counters; pool workers count in their own
@@ -378,6 +532,8 @@ def run_sweep(envs: Sequence[str] = ("native",),
             "config": dict(config_kwargs),
             "workers": pool_size,
             "requested_workers": workers,
+            "cell_threads": threads,
+            "parallelism": pool_size * threads,
             "groups": len(tasks),
             "cells": len(cells),
             "wall_seconds": time.time() - started,

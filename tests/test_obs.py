@@ -222,6 +222,36 @@ class TestRegressGate:
         assert [r.metric for r in found] == ["missing_cell"]
         assert "dmt" in found[0].key
 
+    def test_compare_bench_group_floor(self):
+        base = dict(_bench_doc(),
+                    group={"speedup": 2.6, "floor": 2.0,
+                           "cell_threads": 4})
+        slow = dict(_bench_doc(), group={"speedup": 1.4})
+        found = regress.compare_bench(slow, base)
+        assert [r.key for r in found] == ["bench:group:cell_threads"]
+        fast = dict(_bench_doc(), group={"speedup": 2.4})
+        assert regress.compare_bench(fast, base) == []
+        # null floor (interpreter backend): never enforced
+        null = dict(_bench_doc(), group={"speedup": 0.9, "floor": None})
+        assert regress.compare_bench(
+            null, dict(_bench_doc(),
+                       group={"speedup": 1.0, "floor": None})) == []
+
+    def test_trajectory_records_stage2_warmth_and_group_wall(self):
+        sweep = _sweep_doc()
+        sweep["meta"]["cell_threads"] = 4
+        sweep["cells"][0].update(stage2_source="disk", group_seconds=1.5)
+        record = regress.trajectory_record(None, sweep, [], 0.15, 0.01)
+        assert record["sweep"]["stage2_warm_hit_ratio"] == 1.0
+        assert record["sweep"]["group_wall_seconds"] == 1.5
+        assert record["sweep"]["cell_threads"] == 4
+        bench = dict(_bench_doc(),
+                     group={"cell_threads": 4, "speedup": 2.5,
+                            "floor": 2.0, "kernel_backend": "numba"})
+        record = regress.trajectory_record(bench, None, [], 0.15, 0.01)
+        assert record["bench_group"]["speedup"] == 2.5
+        assert record["bench_group"]["kernel_backend"] == "numba"
+
     def test_compare_stream_throughput_and_footprint(self):
         base = _stream_doc()
         assert regress.compare_stream(_stream_doc(), base) == []
